@@ -1,0 +1,105 @@
+"""Figure 5(a): single-node deduplication efficiency vs chunk size, SC vs CDC.
+
+The paper measures "bytes saved per second" (Eq. 6) on a single deduplication
+server for the Linux and VM workloads, with chunk sizes from 2 KB to 32 KB,
+comparing static chunking (SC) against content-defined chunking (CDC).  The
+findings to reproduce:
+
+* SC beats CDC in *efficiency* at every chunk size, because CDC's chunking
+  cost outweighs its slightly better deduplication ratio;
+* efficiency peaks at an intermediate chunk size (4-8 KB in the paper):
+  smaller chunks find more redundancy but cost more per-chunk work, larger
+  chunks miss redundancy.
+
+The reproduction runs the full client+node pipeline (chunk, fingerprint,
+dedupe, store) in-process on scaled-down Linux/VM workloads.  Chunk sizes are
+scaled to the synthetic data's redundancy granularity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from benchmarks.common import bench_scale, rows_table, run_once
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.fixed import StaticChunker
+from repro.core.partitioner import PartitionerConfig, StreamPartitioner
+from repro.metrics.dedup import deduplication_efficiency
+from repro.node.dedupe_node import DedupeNode
+from repro.simulation.experiment import standard_workload
+
+CHUNK_SIZES = (1024, 2048, 4096, 8192, 16384)
+
+WORKLOAD_SCALE_LIMIT = {"tiny": 1 * 1024 * 1024, "small": 4 * 1024 * 1024, "medium": 16 * 1024 * 1024}
+
+
+def _workload_files(name: str, byte_limit: int):
+    """Flatten a content workload into (path, data) pairs up to a byte budget.
+
+    The budget is spread across the first few backup generations (rather than
+    taken from the first generation only) so that the sample preserves the
+    inter-version redundancy that deduplication exploits.
+    """
+    files = []
+    generations = 3
+    per_snapshot_budget = max(1, byte_limit // generations)
+    for index, snapshot in enumerate(standard_workload(name, scale=bench_scale()).snapshots()):
+        if index >= generations:
+            break
+        consumed = 0
+        for file in snapshot.files:
+            if consumed >= per_snapshot_budget:
+                break
+            files.append((f"{snapshot.label}/{file.path}", file.data))
+            consumed += len(file.data)
+    return files
+
+
+def _run_single_node(files, chunker) -> float:
+    """Back up the files through one node; return the efficiency (bytes saved/s)."""
+    node = DedupeNode(0)
+    config = PartitionerConfig(chunker=chunker, superchunk_size=64 * 1024, handprint_size=8)
+    partitioner = StreamPartitioner(config)
+    start = time.perf_counter()
+    for superchunk, _ in partitioner.partition_files(files):
+        node.backup_superchunk(superchunk)
+    elapsed = time.perf_counter() - start
+    return deduplication_efficiency(
+        node.stats.logical_bytes, node.stats.physical_bytes, max(elapsed, 1e-9)
+    )
+
+
+def measure() -> List[List]:
+    byte_limit = WORKLOAD_SCALE_LIMIT[bench_scale()]
+    rows: List[List] = []
+    for workload_name in ("linux", "vm"):
+        files = _workload_files(workload_name, byte_limit)
+        for chunk_size in CHUNK_SIZES:
+            sc_efficiency = _run_single_node(files, StaticChunker(chunk_size))
+            cdc_efficiency = _run_single_node(files, ContentDefinedChunker(average_size=chunk_size))
+            rows.append(
+                [
+                    workload_name,
+                    chunk_size,
+                    round(sc_efficiency / (1024 * 1024), 2),
+                    round(cdc_efficiency / (1024 * 1024), 2),
+                ]
+            )
+    return rows
+
+
+def test_fig5a_dedup_efficiency_vs_chunk_size(benchmark):
+    rows = run_once(benchmark, measure)
+    rows_table(
+        "fig5a_dedup_efficiency",
+        "Figure 5(a) -- single-node deduplication efficiency (MB saved per second)",
+        ["workload", "chunk size (B)", "static chunking", "content-defined chunking"],
+        rows,
+    )
+    # Reproduction check: SC is more efficient than CDC at every configuration
+    # (CDC's chunking cost dominates), the paper's headline finding.
+    for _, _, sc, cdc in rows:
+        assert sc >= cdc
+    # And deduplication actually saved bytes on the Linux workload.
+    assert any(sc > 0 for workload, _, sc, _ in rows if workload == "linux")

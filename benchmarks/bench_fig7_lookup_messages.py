@@ -1,0 +1,79 @@
+"""Figure 7: fingerprint-lookup message overhead vs cluster size.
+
+The paper counts the chunk-fingerprint-lookup messages each routing scheme
+generates on the Linux and VM datasets as the cluster grows from 1 to 128
+nodes.  Findings to reproduce:
+
+* Stateless routing and Extreme Binning send a constant number of messages
+  (one batched lookup per routed unit -- counted per chunk fingerprint here);
+* Sigma-Dedupe adds only a small pre-routing component (at most handprint**2
+  lookups per super-chunk, i.e. <= 1.25x stateless for the paper's 256-chunk
+  super-chunks), independent of the cluster size once it exceeds the handprint
+  size;
+* Stateful routing's broadcast makes its message count grow linearly with the
+  cluster size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from benchmarks.common import (
+    SIM_SUPERCHUNK_SIZE,
+    cluster_sizes,
+    rows_table,
+    run_once,
+    workload_snapshots,
+)
+from repro.simulation.comparison import compare_schemes, results_by_scheme
+
+SCHEMES = ("sigma", "stateful", "stateless", "extreme_binning")
+
+
+def measure():
+    sizes = cluster_sizes()
+    rows: List[List] = []
+    pre_routing = {}
+    for workload_name in ("linux", "vm"):
+        snapshots = workload_snapshots(workload_name)
+        results = compare_schemes(
+            snapshots,
+            schemes=SCHEMES,
+            cluster_sizes=sizes,
+            superchunk_size=SIM_SUPERCHUNK_SIZE,
+        )
+        for scheme, series in sorted(results_by_scheme(results).items()):
+            row: List = [workload_name, scheme]
+            row.extend(result.fingerprint_lookup_messages for result in series)
+            rows.append(row)
+            pre_routing[(workload_name, scheme)] = [
+                result.messages.pre_routing for result in series
+            ]
+    return rows, pre_routing, sizes
+
+
+def test_fig7_fingerprint_lookup_messages(benchmark):
+    rows, pre_routing, sizes = run_once(benchmark, measure)
+    rows_table(
+        "fig7_lookup_messages",
+        "Figure 7 -- fingerprint-lookup messages vs cluster size",
+        ["workload", "scheme"] + [f"N={n}" for n in sizes],
+        rows,
+    )
+    series = {(row[0], row[1]): row[2:] for row in rows}
+    for workload_name in ("linux", "vm"):
+        stateless = series[(workload_name, "stateless")]
+        sigma = series[(workload_name, "sigma")]
+        stateful = series[(workload_name, "stateful")]
+        # Stateless is flat across cluster sizes.
+        assert len(set(stateless)) == 1
+        # Sigma stays within 1.3x of stateless at every cluster size (paper: 1.25x).
+        assert all(s <= stateless[0] * 1.3 for s in sigma)
+        # Stateful's broadcast component grows linearly with the cluster size.
+        stateful_pre = pre_routing[(workload_name, "stateful")]
+        assert stateful_pre[-1] == stateful_pre[0] * (sizes[-1] // sizes[0])
+        assert stateful[-1] > stateful[0]
+        # Once the cluster is larger than the handprint, the broadcast makes
+        # stateful the most expensive scheme (the paper's crossover).
+        if sizes[-1] >= 16:
+            assert stateful[-1] > sigma[-1]

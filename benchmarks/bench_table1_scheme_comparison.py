@@ -1,0 +1,121 @@
+"""Table 1: qualitative comparison of the cluster deduplication schemes.
+
+Table 1 of the paper summarises each scheme's routing granularity,
+deduplication ratio, throughput, data skew and communication overhead as
+High/Medium/Low labels.  This bench regenerates the quantitative basis for
+those labels from the simulator (deduplication ratio, storage skew and message
+overhead at a fixed cluster size on the Linux workload) and derives the
+qualitative classification, which must reproduce the paper's row for each
+scheme that the simulator models (HYDRAstor's chunk-level DHT is included as
+the extra baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from benchmarks.common import (
+    EDR_SUPERCHUNK_SIZE,
+    SIM_SUPERCHUNK_SIZE,
+    bench_scale,
+    rows_table,
+    run_once,
+    workload_snapshots,
+)
+from repro.simulation.comparison import run_scheme, single_node_deduplication_ratio
+
+SCHEMES = ("chunk_dht", "extreme_binning", "stateless", "stateful", "sigma")
+GRANULARITY = {
+    "chunk_dht": "chunk",
+    "extreme_binning": "file",
+    "stateless": "super-chunk",
+    "stateful": "super-chunk",
+    "sigma": "super-chunk",
+}
+CLUSTER_SIZE = {"tiny": 16, "small": 32, "medium": 64}
+
+
+def _label(value: float, low: float, high: float, reverse: bool = False) -> str:
+    """Map a number to Low/Medium/High by two thresholds."""
+    if reverse:
+        value = -value
+        low, high = -high, -low
+    if value < low:
+        return "Low"
+    if value < high:
+        return "Medium"
+    return "High"
+
+
+def measure() -> List[List]:
+    snapshots = workload_snapshots("linux")
+    num_nodes = CLUSTER_SIZE[bench_scale()]
+    single_dr = single_node_deduplication_ratio(snapshots)
+    baseline_messages = None
+    rows: List[List] = []
+    raw: Dict[str, Dict[str, float]] = {}
+    for scheme in SCHEMES:
+        # Capacity/skew behaviour is evaluated at the EDR super-chunk size
+        # (units >> nodes); message overhead at the paper's 256-chunk
+        # super-chunk ratio, which is what its Low/High overhead labels assume.
+        capacity_result = run_scheme(
+            snapshots, scheme, num_nodes, superchunk_size=EDR_SUPERCHUNK_SIZE, single_node_dr=single_dr
+        )
+        overhead_result = run_scheme(
+            snapshots, scheme, num_nodes, superchunk_size=SIM_SUPERCHUNK_SIZE, single_node_dr=single_dr
+        )
+        raw[scheme] = {
+            "ndr": capacity_result.normalized_deduplication_ratio,
+            "cv": capacity_result.skew.coefficient_of_variation,
+            "messages": overhead_result.fingerprint_lookup_messages,
+        }
+        if scheme == "stateless":
+            baseline_messages = raw[scheme]["messages"]
+    if baseline_messages is None:
+        baseline_messages = raw["sigma"]["messages"]
+    for scheme in SCHEMES:
+        values = raw[scheme]
+        rows.append(
+            [
+                scheme,
+                GRANULARITY[scheme],
+                round(values["ndr"], 3),
+                _label(values["ndr"], 0.45, 0.7),
+                round(values["cv"], 2),
+                _label(values["cv"], 0.45, 1.0),
+                values["messages"],
+                _label(values["messages"] / baseline_messages, 1.4, 3.0),
+            ]
+        )
+    return rows
+
+
+def test_table1_scheme_comparison(benchmark):
+    rows = run_once(benchmark, measure)
+    rows_table(
+        "table1_scheme_comparison",
+        "Table 1 -- measured basis for the qualitative scheme comparison (Linux workload)",
+        [
+            "scheme",
+            "routing granularity",
+            "normalized DR",
+            "DR class",
+            "storage CV",
+            "skew class",
+            "lookup msgs",
+            "overhead class",
+        ],
+        rows,
+    )
+    by_scheme = {row[0]: row for row in rows}
+    # Paper Table 1 orderings that the measurements must reproduce:
+    # Sigma and Stateful deliver the highest deduplication ratios...
+    assert by_scheme["sigma"][2] >= by_scheme["stateless"][2]
+    assert by_scheme["stateful"][2] >= by_scheme["stateless"][2]
+    # ...Stateful pays for it with the highest message overhead...
+    assert by_scheme["stateful"][6] == max(row[6] for row in rows)
+    # ...while Sigma's overhead stays in the stateless/Extreme-Binning class.
+    assert by_scheme["sigma"][6] <= by_scheme["stateless"][6] * 1.3
+    # Chunk-level DHT eliminates cross-node redundancy entirely (best DR here
+    # since the simulator does not model its large-chunk penalty) with low skew.
+    assert by_scheme["chunk_dht"][2] >= 0.9

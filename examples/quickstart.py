@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: back up files to a Sigma-Dedupe cluster and restore them.
+
+Creates a 4-node deduplication cluster with the paper's default configuration
+(4 KB static chunks, 1 MB super-chunks, handprint size 8, similarity-based
+stateful routing), backs up two generations of a small file set, prints the
+deduplication statistics, and verifies that every file restores bit-for-bit.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SigmaDedupe
+from repro.utils.units import format_bytes
+
+
+def make_files(num_files: int = 6, file_size: int = 256 * 1024, seed: int = 7):
+    """Generate a small set of deterministic pseudo-random files."""
+    rng = random.Random(seed)
+    return [(f"docs/report-{i:02d}.dat", rng.randbytes(file_size)) for i in range(num_files)]
+
+
+def edit_files(files, seed: int = 8):
+    """Simulate the next day's state: small in-place edits to every file."""
+    rng = random.Random(seed)
+    edited = []
+    for path, data in files:
+        buffer = bytearray(data)
+        for _ in range(4):
+            offset = rng.randrange(0, len(buffer) - 512)
+            buffer[offset:offset + 512] = rng.randbytes(512)
+        edited.append((path, bytes(buffer)))
+    return edited
+
+
+def main() -> None:
+    framework = SigmaDedupe(num_nodes=4, routing="sigma")
+
+    print("=== Day 1: initial full backup ===")
+    day1_files = make_files()
+    report1 = framework.backup(day1_files, session_label="day-1")
+    print(f"files backed up      : {report1.files}")
+    print(f"logical data         : {format_bytes(report1.logical_bytes)}")
+    print(f"transferred over net : {format_bytes(report1.transferred_bytes)}")
+    print(f"cluster dedup ratio  : {report1.cluster_deduplication_ratio:.2f}x")
+
+    print("\n=== Day 2: incremental full backup (small edits) ===")
+    day2_files = edit_files(day1_files)
+    report2 = framework.backup(day2_files, session_label="day-2")
+    saved = report2.logical_bytes - report2.transferred_bytes
+    print(f"logical data         : {format_bytes(report2.logical_bytes)}")
+    print(f"transferred over net : {format_bytes(report2.transferred_bytes)}")
+    print(f"bandwidth saved      : {format_bytes(saved)} "
+          f"({saved / report2.logical_bytes:.0%})")
+    print(f"cluster dedup ratio  : {report2.cluster_deduplication_ratio:.2f}x")
+
+    print("\n=== Per-node storage usage (load balance) ===")
+    for node_id, usage in enumerate(framework.node_storage_usages()):
+        print(f"node {node_id}: {format_bytes(usage)}")
+
+    print("\n=== Restore verification ===")
+    restored = dict(framework.restore_session(report2.session_id))
+    ok = all(restored[path] == data for path, data in day2_files)
+    print("all day-2 files restored bit-for-bit:", "OK" if ok else "FAILED")
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare cluster data-routing schemes with the trace-driven simulator.
+
+Runs the four routing schemes of the paper (Sigma-Dedupe, EMC stateful, EMC
+stateless, Extreme Binning) over a synthetic Linux-like workload at several
+cluster sizes and prints the normalized effective deduplication ratio (EDR),
+storage balance and fingerprint-lookup message overhead -- a miniature of
+Figures 7 and 8.
+
+Run with::
+
+    python examples/routing_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.chunking.fixed import StaticChunker
+from repro.metrics.report import format_table
+from repro.simulation.comparison import compare_schemes, results_by_scheme
+from repro.workloads.trace import materialize_workload, trace_statistics
+from repro.workloads.versioned_source import VersionedSourceWorkload
+
+
+def main() -> None:
+    workload = VersionedSourceWorkload(
+        num_versions=8, files_per_version=150, mean_file_size=8 * 1024
+    )
+    print("materialising workload (chunking + fingerprinting)...")
+    snapshots = materialize_workload(workload, chunker=StaticChunker(1024))
+    stats = trace_statistics(snapshots)
+    print(
+        f"workload: {stats['total_chunks']:,} chunks, "
+        f"single-node dedup ratio {stats['deduplication_ratio']:.2f}x\n"
+    )
+
+    cluster_sizes = (4, 8, 16, 32)
+    results = compare_schemes(
+        snapshots,
+        schemes=("sigma", "stateful", "stateless", "extreme_binning"),
+        cluster_sizes=cluster_sizes,
+        superchunk_size=64 * 1024,
+        handprint_size=8,
+    )
+
+    rows = []
+    for scheme, scheme_results in sorted(results_by_scheme(results).items()):
+        for result in scheme_results:
+            rows.append(
+                [
+                    scheme,
+                    result.num_nodes,
+                    round(result.normalized_effective_deduplication_ratio, 3),
+                    round(result.cluster_deduplication_ratio, 2),
+                    round(result.skew.coefficient_of_variation, 2),
+                    result.fingerprint_lookup_messages,
+                ]
+            )
+
+    print(
+        format_table(
+            ["scheme", "nodes", "normalized EDR", "cluster DR", "storage CV", "lookup msgs"],
+            rows,
+            title="Routing scheme comparison (Linux-like workload)",
+        )
+    )
+
+    print(
+        "\nExpected shape (paper Fig. 7/8): stateful achieves the highest EDR but its\n"
+        "message count grows with the cluster size; Sigma-Dedupe stays close to\n"
+        "stateful in EDR at near-stateless message overhead; stateless and Extreme\n"
+        "Binning are cheap but lose deduplication and/or balance as the cluster grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Protect a small VM fleet with cluster deduplication (the paper's VM scenario).
+
+Backs up consecutive monthly full backups of a synthetic VM fleet -- few very
+large image files with skewed sizes and block-level changes -- into a
+Sigma-Dedupe cluster, then restores one VM image and verifies it.  This is the
+workload on which file-granularity routing (Extreme Binning) breaks down in
+the paper (Figure 8, VM panel), so the example also reports what Extreme
+Binning-style file routing would have done to storage balance.
+
+Run with::
+
+    python examples/vm_fleet_protection.py
+"""
+
+from __future__ import annotations
+
+from repro import SigmaDedupe
+from repro.chunking.fixed import StaticChunker
+from repro.metrics.report import format_table
+from repro.metrics.skew import storage_skew
+from repro.simulation.comparison import run_scheme
+from repro.utils.units import format_bytes
+from repro.workloads.trace import materialize_workload
+from repro.workloads.vm_images import VMBackupWorkload
+
+
+def main() -> None:
+    workload = VMBackupWorkload(
+        num_backups=3, num_vms=5, base_image_size=384 * 1024, change_fraction=0.10
+    )
+
+    framework = SigmaDedupe(
+        num_nodes=4,
+        routing="sigma",
+        chunker=StaticChunker(4096),
+        superchunk_size=256 * 1024,
+        handprint_size=8,
+    )
+
+    rows = []
+    last_session_id = None
+    last_files = None
+    for snapshot in workload.snapshots():
+        files = [(file.path, file.data) for file in snapshot.files]
+        report = framework.backup(files, session_label=snapshot.label)
+        last_session_id, last_files = report.session_id, dict(files)
+        rows.append(
+            [
+                snapshot.label,
+                format_bytes(report.logical_bytes),
+                format_bytes(report.transferred_bytes),
+                f"{report.cluster_deduplication_ratio:.2f}x",
+            ]
+        )
+    print(format_table(["backup", "logical", "transferred", "cluster DR"], rows,
+                       title="Monthly VM fleet backups"))
+
+    skew = storage_skew(framework.node_storage_usages())
+    print(f"\nstorage balance (Sigma-Dedupe): CV={skew.coefficient_of_variation:.2f}, "
+          f"max/mean={skew.max_over_mean:.2f}")
+
+    # Restore the largest VM image from the latest backup and verify it.
+    largest_path = max(last_files, key=lambda path: len(last_files[path]))
+    restored = framework.restore(last_session_id, largest_path)
+    print(f"restore check on {largest_path}: "
+          f"{'OK' if restored == last_files[largest_path] else 'FAILED'}")
+
+    # Contrast with file-granularity routing on the same workload (simulation).
+    snapshots = materialize_workload(workload, chunker=StaticChunker(4096))
+    sigma = run_scheme(snapshots, "sigma", 4, superchunk_size=256 * 1024)
+    binning = run_scheme(snapshots, "extreme_binning", 4, superchunk_size=256 * 1024)
+    print("\nWhy super-chunk routing matters for VM images:")
+    print(f"  Sigma-Dedupe      EDR={sigma.normalized_effective_deduplication_ratio:.3f} "
+          f"storage CV={sigma.skew.coefficient_of_variation:.2f}")
+    print(f"  Extreme Binning   EDR={binning.normalized_effective_deduplication_ratio:.3f} "
+          f"storage CV={binning.skew.coefficient_of_variation:.2f}")
+    print("  (file-granularity routing sends whole multi-hundred-MB images to single\n"
+          "   nodes, so the largest VMs dominate a few nodes and balance collapses)")
+
+
+if __name__ == "__main__":
+    main()

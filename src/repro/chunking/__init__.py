@@ -1,0 +1,34 @@
+"""Data chunking substrate.
+
+Deduplication partitions large data objects into smaller parts called chunks
+(paper Section 1).  This package implements the chunking algorithms the paper
+uses or evaluates:
+
+* :class:`~repro.chunking.fixed.StaticChunker` -- fixed-size ("static
+  chunking", SC) used for the main evaluation with a 4 KB chunk size.
+* :class:`~repro.chunking.cdc.ContentDefinedChunker` -- Rabin-fingerprint
+  based content-defined chunking (CDC) as implemented in Cumulus [21].
+* :class:`~repro.chunking.tttd.TTTDChunker` -- the Two-Threshold Two-Divisor
+  chunker [16] used for the super-chunk resemblance analysis of Section 2.2
+  (1 KB / 2 KB / 4 KB / 32 KB thresholds).
+
+All chunkers share the :class:`~repro.chunking.base.Chunker` interface and
+yield :class:`~repro.chunking.base.RawChunk` objects.
+"""
+
+from repro.chunking.base import Chunker, RawChunk, iter_chunk_payloads
+from repro.chunking.fixed import StaticChunker
+from repro.chunking.rabin import RabinRollingHash, RABIN_WINDOW_SIZE
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.tttd import TTTDChunker
+
+__all__ = [
+    "Chunker",
+    "RawChunk",
+    "iter_chunk_payloads",
+    "StaticChunker",
+    "RabinRollingHash",
+    "RABIN_WINDOW_SIZE",
+    "ContentDefinedChunker",
+    "TTTDChunker",
+]

@@ -1,0 +1,73 @@
+"""Chunker interface and the raw-chunk value object."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.errors import ChunkingError
+
+
+@dataclass(frozen=True)
+class RawChunk:
+    """A contiguous piece of a data stream produced by a chunker.
+
+    Attributes
+    ----------
+    data:
+        The chunk payload.
+    offset:
+        Byte offset of the chunk within the stream it was cut from.
+    """
+
+    data: bytes
+    offset: int
+
+    @property
+    def length(self) -> int:
+        """Size of the chunk payload in bytes."""
+        return len(self.data)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial delegation
+        return len(self.data)
+
+
+class Chunker(ABC):
+    """Abstract base class for all chunking algorithms.
+
+    A chunker is a pure function from a byte stream to a sequence of
+    :class:`RawChunk` objects whose concatenation reproduces the input.
+    """
+
+    @abstractmethod
+    def chunk(self, data: bytes) -> Iterator[RawChunk]:
+        """Yield the chunks of ``data`` in stream order."""
+
+    def chunk_all(self, data: bytes) -> List[RawChunk]:
+        """Return all chunks of ``data`` as a list (convenience wrapper)."""
+        return list(self.chunk(data))
+
+    @property
+    @abstractmethod
+    def average_chunk_size(self) -> int:
+        """The nominal/average chunk size in bytes for this configuration."""
+
+    def validate_roundtrip(self, data: bytes) -> None:
+        """Raise :class:`ChunkingError` unless the chunks reassemble ``data``.
+
+        Used by tests and by callers that want a cheap sanity check on new
+        chunker configurations.
+        """
+        reassembled = b"".join(chunk.data for chunk in self.chunk(data))
+        if reassembled != data:
+            raise ChunkingError(
+                f"{type(self).__name__} did not partition the stream losslessly: "
+                f"{len(reassembled)} bytes reassembled from {len(data)} input bytes"
+            )
+
+
+def iter_chunk_payloads(chunks: Iterable[RawChunk]) -> Iterator[bytes]:
+    """Yield only the payloads of an iterable of chunks."""
+    for chunk in chunks:
+        yield chunk.data

@@ -1,0 +1,90 @@
+"""Basic content-defined chunking (CDC).
+
+This is the classic LBFS/Cumulus-style chunker: slide a Rabin hash over the
+stream and declare a boundary wherever ``hash mod divisor == divisor - 1``,
+subject to minimum and maximum chunk-size limits.  The expected chunk size is
+approximately ``min_size + divisor`` bytes.
+
+The paper evaluates CDC with a 4 KB *average* chunk size (Figure 5(a)) and
+finds that its higher chunking cost makes static chunking more *efficient*
+(bytes saved per second) even though CDC finds slightly more redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.chunking.base import Chunker, RawChunk
+from repro.chunking.rabin import RabinRollingHash, RABIN_WINDOW_SIZE
+
+
+class ContentDefinedChunker(Chunker):
+    """Rabin-hash based variable-size chunker.
+
+    Parameters
+    ----------
+    average_size:
+        Target average chunk size in bytes (the boundary divisor).
+    min_size:
+        Minimum chunk size; the hash is not even consulted before this many
+        bytes have accumulated, which both bounds metadata overhead and speeds
+        up chunking.
+    max_size:
+        Hard maximum chunk size; a boundary is forced at this length.
+    window_size:
+        Rabin window width in bytes.
+    """
+
+    def __init__(
+        self,
+        average_size: int = 4096,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        window_size: int = RABIN_WINDOW_SIZE,
+    ):
+        if average_size < 64:
+            raise ValueError("average_size must be >= 64 bytes")
+        self._average_size = average_size
+        self.min_size = min_size if min_size is not None else average_size // 4
+        self.max_size = max_size if max_size is not None else average_size * 4
+        if self.min_size < 1 or self.min_size >= self.max_size:
+            raise ValueError("require 1 <= min_size < max_size")
+        self.window_size = window_size
+        # Boundary condition: low bits of the rolling hash equal a fixed magic
+        # value.  Using a power-of-two divisor makes the test a mask.
+        self._divisor = 1 << max(6, (average_size - self.min_size).bit_length() - 1)
+        self._magic = self._divisor - 1
+
+    @property
+    def average_chunk_size(self) -> int:
+        return self._average_size
+
+    def chunk(self, data: bytes) -> Iterator[RawChunk]:
+        if not data:
+            return
+        hasher = RabinRollingHash(self.window_size)
+        start = 0
+        position = 0
+        length = len(data)
+        mask = self._divisor - 1
+        magic = self._magic
+        while position < length:
+            hasher.update(data[position])
+            position += 1
+            chunk_length = position - start
+            at_boundary = (
+                chunk_length >= self.min_size
+                and (hasher.value & mask) == magic
+            )
+            if at_boundary or chunk_length >= self.max_size:
+                yield RawChunk(data=data[start:position], offset=start)
+                start = position
+                hasher.reset()
+        if start < length:
+            yield RawChunk(data=data[start:length], offset=start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContentDefinedChunker(average_size={self._average_size}, "
+            f"min_size={self.min_size}, max_size={self.max_size})"
+        )

@@ -1,0 +1,31 @@
+"""Cluster deduplication framework: clients, server cluster and director.
+
+The three components of Figure 2:
+
+* :class:`~repro.cluster.client.BackupClient` -- data partitioning, chunk
+  fingerprinting and similarity-aware data routing at the source.
+* :class:`~repro.cluster.cluster.DedupeCluster` -- the deduplication server
+  cluster holding :class:`~repro.node.DedupeNode` instances; implements
+  :class:`~repro.routing.base.ClusterView` so any routing scheme can run on it.
+* :class:`~repro.cluster.director.Director` -- backup-session and file-recipe
+  management, used by the restore path.
+"""
+
+from repro.cluster.message import MessageCounter, MessageType
+from repro.cluster.recipe import ChunkLocation, FileRecipe
+from repro.cluster.director import BackupSession, Director
+from repro.cluster.cluster import DedupeCluster
+from repro.cluster.client import BackupClient
+from repro.cluster.restore import RestoreManager
+
+__all__ = [
+    "MessageCounter",
+    "MessageType",
+    "ChunkLocation",
+    "FileRecipe",
+    "BackupSession",
+    "Director",
+    "DedupeCluster",
+    "BackupClient",
+    "RestoreManager",
+]

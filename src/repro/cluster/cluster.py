@@ -1,0 +1,160 @@
+"""The deduplication server cluster.
+
+Holds the :class:`~repro.node.DedupeNode` instances and exposes the
+:class:`~repro.routing.base.ClusterView` interface routing schemes consult.
+It also aggregates the per-node statistics into the cluster-wide metrics the
+evaluation reports (cluster deduplication ratio, storage skew, message
+counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.message import MessageCounter, MessageType
+from repro.core.superchunk import SuperChunk
+from repro.errors import NodeNotFoundError
+from repro.node.dedupe_node import DedupeNode, NodeConfig, SuperChunkBackupResult
+from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
+from repro.routing.sigma import SigmaRouting
+from repro.utils.stats import mean, population_stddev
+
+
+class DedupeCluster(ClusterView):
+    """A cluster of full deduplication nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of deduplication servers.
+    node_config:
+        Configuration applied to every node.
+    routing_scheme:
+        The inter-node data routing scheme (defaults to Sigma-Dedupe routing).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        node_config: Optional[NodeConfig] = None,
+        routing_scheme: Optional[RoutingScheme] = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self._nodes: List[DedupeNode] = [
+            DedupeNode(node_id, config=node_config) for node_id in range(num_nodes)
+        ]
+        self.routing_scheme = routing_scheme or SigmaRouting()
+        self.messages = MessageCounter()
+
+    # ------------------------------------------------------------------ #
+    # ClusterView interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> DedupeNode:
+        if not 0 <= node_id < len(self._nodes):
+            raise NodeNotFoundError(f"node {node_id} not in cluster of {len(self._nodes)}")
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> List[DedupeNode]:
+        return list(self._nodes)
+
+    def node_storage_usage(self, node_id: int) -> int:
+        return self.node(node_id).storage_usage
+
+    def resemblance_query(self, node_id: int, handprint) -> int:
+        return self.node(node_id).resemblance_query(handprint)
+
+    def sample_match_count(self, node_id: int, fingerprints: Sequence[bytes]) -> int:
+        node = self.node(node_id)
+        count = 0
+        for fingerprint in fingerprints:
+            if node.disk_index.enabled and fingerprint in node.disk_index:
+                count += 1
+            elif node.fingerprint_cache.lookup(fingerprint) is not None:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # backup path
+    # ------------------------------------------------------------------ #
+
+    def route_superchunk(self, superchunk: SuperChunk) -> RoutingDecision:
+        """Run the configured routing scheme and account its message overhead."""
+        decision = self.routing_scheme.route(superchunk, self)
+        self.messages.record(MessageType.PRE_ROUTING, decision.pre_routing_lookup_messages)
+        return decision
+
+    def backup_superchunk(
+        self, superchunk: SuperChunk, decision: Optional[RoutingDecision] = None
+    ) -> SuperChunkBackupResult:
+        """Route (if needed) and back up one super-chunk."""
+        if decision is None:
+            decision = self.route_superchunk(superchunk)
+        # The batched chunk-fingerprint query to the target node: one lookup
+        # request per chunk fingerprint in the super-chunk.
+        self.messages.record(MessageType.AFTER_ROUTING, superchunk.chunk_count)
+        result = self.node(decision.target_node).backup_superchunk(superchunk)
+        self.messages.record(MessageType.INTRA_NODE, result.total_chunks)
+        return result
+
+    def flush(self) -> None:
+        """Seal open containers on every node (end of a backup session)."""
+        for node in self._nodes:
+            node.flush()
+
+    # ------------------------------------------------------------------ #
+    # restore path helpers
+    # ------------------------------------------------------------------ #
+
+    def read_chunk(self, node_id: int, fingerprint: bytes, container_id: Optional[int] = None) -> bytes:
+        return self.node(node_id).read_chunk(fingerprint, container_id=container_id)
+
+    # ------------------------------------------------------------------ #
+    # cluster-wide statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(node.stats.logical_bytes for node in self._nodes)
+
+    @property
+    def physical_bytes(self) -> int:
+        return sum(node.stats.physical_bytes for node in self._nodes)
+
+    @property
+    def cluster_deduplication_ratio(self) -> float:
+        physical = self.physical_bytes
+        if physical == 0:
+            return 1.0 if self.logical_bytes == 0 else float("inf")
+        return self.logical_bytes / physical
+
+    def storage_usages(self) -> List[int]:
+        return [node.storage_usage for node in self._nodes]
+
+    def storage_usage_mean(self) -> float:
+        return mean(self.storage_usages())
+
+    def storage_usage_stddev(self) -> float:
+        return population_stddev(self.storage_usages())
+
+    def describe(self) -> Dict[str, float]:
+        """Cluster-wide summary used by examples and reports."""
+        usages = self.storage_usages()
+        return {
+            "num_nodes": self.num_nodes,
+            "routing_scheme": self.routing_scheme.name,
+            "logical_bytes": self.logical_bytes,
+            "physical_bytes": self.physical_bytes,
+            "cluster_deduplication_ratio": self.cluster_deduplication_ratio,
+            "storage_mean_bytes": mean(usages),
+            "storage_stddev_bytes": population_stddev(usages),
+            "pre_routing_messages": self.messages.pre_routing,
+            "after_routing_messages": self.messages.after_routing,
+            "intra_node_messages": self.messages.intra_node,
+        }

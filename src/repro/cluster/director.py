@@ -1,0 +1,132 @@
+"""The director: backup-session and file-recipe management.
+
+"Director ... is responsible for keeping track of files on the deduplication
+server, and managing file information to support data backup and restore.  It
+consists of backup session management and file recipe management."
+(paper Section 3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.cluster.recipe import ChunkLocation, FileRecipe
+from repro.errors import RecipeError
+
+
+@dataclass
+class BackupSession:
+    """A group of files backed up together by one client.
+
+    Attributes
+    ----------
+    session_id:
+        Unique identifier, assigned by the director.
+    client_id:
+        The backup client that owns the session.
+    label:
+        Free-form human label (e.g. ``"monthly-2012-05"``).
+    """
+
+    session_id: str
+    client_id: str
+    label: str = ""
+    closed: bool = False
+    file_paths: List[str] = field(default_factory=list)
+
+    @property
+    def file_count(self) -> int:
+        return len(self.file_paths)
+
+
+class Director:
+    """Tracks backup sessions and file recipes for the whole cluster."""
+
+    def __init__(self):
+        self._sessions: Dict[str, BackupSession] = {}
+        self._recipes: Dict[str, Dict[str, FileRecipe]] = {}
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # session management
+    # ------------------------------------------------------------------ #
+
+    def open_session(self, client_id: str, label: str = "") -> BackupSession:
+        """Create a new backup session for ``client_id``."""
+        self._session_counter += 1
+        session_id = f"session-{self._session_counter:06d}"
+        session = BackupSession(session_id=session_id, client_id=client_id, label=label)
+        self._sessions[session_id] = session
+        self._recipes[session_id] = {}
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        session = self.get_session(session_id)
+        session.closed = True
+
+    def get_session(self, session_id: str) -> BackupSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise RecipeError(f"unknown backup session {session_id!r}") from None
+
+    def sessions(self) -> List[BackupSession]:
+        return list(self._sessions.values())
+
+    def sessions_for_client(self, client_id: str) -> List[BackupSession]:
+        return [s for s in self._sessions.values() if s.client_id == client_id]
+
+    # ------------------------------------------------------------------ #
+    # recipe management
+    # ------------------------------------------------------------------ #
+
+    def record_file_chunks(
+        self, session_id: str, path: str, locations: List[ChunkLocation]
+    ) -> FileRecipe:
+        """Append chunk locations to the recipe of ``path`` in ``session_id``."""
+        session = self.get_session(session_id)
+        if session.closed:
+            raise RecipeError(f"session {session_id} is closed; cannot record more files")
+        recipes = self._recipes[session_id]
+        recipe = recipes.get(path)
+        if recipe is None:
+            recipe = FileRecipe(path=path, session_id=session_id)
+            recipes[path] = recipe
+            session.file_paths.append(path)
+        recipe.extend(locations)
+        return recipe
+
+    def get_recipe(self, session_id: str, path: str) -> FileRecipe:
+        self.get_session(session_id)
+        recipe = self._recipes[session_id].get(path)
+        if recipe is None:
+            raise RecipeError(f"no recipe for {path!r} in session {session_id}")
+        return recipe
+
+    def has_recipe(self, session_id: str, path: str) -> bool:
+        return session_id in self._recipes and path in self._recipes[session_id]
+
+    def iter_recipes(self, session_id: str) -> Iterator[FileRecipe]:
+        self.get_session(session_id)
+        return iter(self._recipes[session_id].values())
+
+    def files_in_session(self, session_id: str) -> List[str]:
+        return list(self.get_session(session_id).file_paths)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def total_logical_bytes(self, session_id: Optional[str] = None) -> int:
+        """Logical bytes recorded in recipes (one session, or all sessions)."""
+        if session_id is not None:
+            return sum(recipe.logical_size for recipe in self._recipes[session_id].values())
+        return sum(
+            recipe.logical_size
+            for recipes in self._recipes.values()
+            for recipe in recipes.values()
+        )
+
+    def file_count(self) -> int:
+        return sum(len(recipes) for recipes in self._recipes.values())

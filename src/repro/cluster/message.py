@@ -1,0 +1,77 @@
+"""Fingerprint-lookup message accounting.
+
+"Number of fingerprint index lookup messages: An important metric for system
+overhead in cluster deduplication, which significantly affects the cluster
+system scalability.  It includes inter-node messages and intra-node messages
+for chunk fingerprint lookup." (paper Section 4.2)
+
+Messages are counted in units of fingerprint-lookup requests, which is how the
+paper derives its "1.25x the stateless overhead" bound for Sigma-Dedupe (the
+pre-routing component is 8 candidates x 8 RFPs = 1/4 of the 256 chunk
+fingerprints of a 1 MB / 4 KB super-chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class MessageType(Enum):
+    """Categories of fingerprint-lookup traffic."""
+
+    PRE_ROUTING = "pre_routing"
+    """Inter-node lookups issued while choosing the target node."""
+
+    AFTER_ROUTING = "after_routing"
+    """Chunk-fingerprint lookups sent to the chosen target node (the batched
+    duplicate-or-unique query of source deduplication)."""
+
+    INTRA_NODE = "intra_node"
+    """Lookups the target node performs internally (cache / disk index)."""
+
+
+@dataclass
+class MessageCounter:
+    """Accumulates fingerprint-lookup message counts by category."""
+
+    counts: Dict[MessageType, int] = field(default_factory=dict)
+
+    def record(self, message_type: MessageType, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("message count cannot be negative")
+        self.counts[message_type] = self.counts.get(message_type, 0) + count
+
+    def get(self, message_type: MessageType) -> int:
+        return self.counts.get(message_type, 0)
+
+    @property
+    def pre_routing(self) -> int:
+        return self.get(MessageType.PRE_ROUTING)
+
+    @property
+    def after_routing(self) -> int:
+        return self.get(MessageType.AFTER_ROUTING)
+
+    @property
+    def intra_node(self) -> int:
+        return self.get(MessageType.INTRA_NODE)
+
+    @property
+    def inter_node_total(self) -> int:
+        """Total inter-node fingerprint-lookup messages (pre + after routing)."""
+        return self.pre_routing + self.after_routing
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "MessageCounter") -> "MessageCounter":
+        merged = MessageCounter(counts=dict(self.counts))
+        for message_type, count in other.counts.items():
+            merged.counts[message_type] = merged.counts.get(message_type, 0) + count
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        return {message_type.value: count for message_type, count in self.counts.items()}

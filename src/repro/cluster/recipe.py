@@ -1,0 +1,62 @@
+"""File recipes: how the director reconstructs files from chunks.
+
+"File recipe management module keeps the mapping from files to chunk
+fingerprints and all other information required to reconstruct the file."
+(paper Section 3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import RecipeError
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """Where one chunk of a file lives in the cluster."""
+
+    fingerprint: bytes
+    length: int
+    node_id: int
+    container_id: Optional[int] = None
+
+
+@dataclass
+class FileRecipe:
+    """Ordered chunk locations that reconstruct one file of one backup session."""
+
+    path: str
+    session_id: str
+    chunks: List[ChunkLocation] = field(default_factory=list)
+
+    @property
+    def logical_size(self) -> int:
+        return sum(chunk.length for chunk in self.chunks)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    def add_chunk(self, location: ChunkLocation) -> None:
+        self.chunks.append(location)
+
+    def extend(self, locations: List[ChunkLocation]) -> None:
+        self.chunks.extend(locations)
+
+    def nodes_involved(self) -> List[int]:
+        """Distinct node ids holding at least one chunk of this file."""
+        seen: List[int] = []
+        for location in self.chunks:
+            if location.node_id not in seen:
+                seen.append(location.node_id)
+        return seen
+
+    def validate(self) -> None:
+        """Raise :class:`RecipeError` if the recipe is structurally broken."""
+        for location in self.chunks:
+            if location.length < 0:
+                raise RecipeError(f"recipe for {self.path} has a negative-length chunk")
+            if not location.fingerprint:
+                raise RecipeError(f"recipe for {self.path} has an empty fingerprint")

@@ -1,0 +1,22 @@
+"""Core public API of the Sigma-Dedupe reproduction.
+
+* :class:`~repro.core.superchunk.SuperChunk` -- a group of consecutive chunks,
+  the unit of data routing.
+* :class:`~repro.core.partitioner.StreamPartitioner` -- turns backup files
+  into fingerprinted chunks and groups them into super-chunks.
+* :class:`~repro.core.framework.SigmaDedupe` -- the high-level framework
+  object: configure a cluster, back up data streams, restore files, inspect
+  statistics.
+"""
+
+from repro.core.superchunk import SuperChunk
+from repro.core.partitioner import PartitionerConfig, StreamPartitioner
+from repro.core.framework import BackupReport, SigmaDedupe
+
+__all__ = [
+    "SuperChunk",
+    "PartitionerConfig",
+    "StreamPartitioner",
+    "SigmaDedupe",
+    "BackupReport",
+]

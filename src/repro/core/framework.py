@@ -1,0 +1,156 @@
+"""High-level facade: configure, back up, restore, inspect.
+
+:class:`SigmaDedupe` wires together the cluster, director, backup clients and
+restore manager so downstream users (and the examples) can drive the whole
+framework through one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.chunking.base import Chunker
+from repro.chunking.fixed import StaticChunker
+from repro.cluster.client import BackupClient, ClientBackupReport
+from repro.cluster.cluster import DedupeCluster
+from repro.cluster.director import Director
+from repro.cluster.restore import RestoreManager
+from repro.core.partitioner import PartitionerConfig
+from repro.core.superchunk import DEFAULT_SUPERCHUNK_SIZE
+from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE
+from repro.node.dedupe_node import NodeConfig
+from repro.routing import ALL_SCHEMES
+from repro.routing.base import RoutingScheme
+
+
+@dataclass
+class BackupReport:
+    """User-facing summary of one backup call."""
+
+    session_id: str
+    files: int
+    logical_bytes: int
+    transferred_bytes: int
+    unique_chunks: int
+    duplicate_chunks: int
+    cluster_deduplication_ratio: float
+
+    @classmethod
+    def from_client_report(
+        cls, report: ClientBackupReport, cluster: DedupeCluster
+    ) -> "BackupReport":
+        return cls(
+            session_id=report.session_id,
+            files=report.files_backed_up,
+            logical_bytes=report.logical_bytes,
+            transferred_bytes=report.transferred_bytes,
+            unique_chunks=report.unique_chunks,
+            duplicate_chunks=report.duplicate_chunks,
+            cluster_deduplication_ratio=cluster.cluster_deduplication_ratio,
+        )
+
+
+class SigmaDedupe:
+    """The Sigma-Dedupe framework as a single configurable object.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of deduplication server nodes in the cluster.
+    routing:
+        Routing scheme instance or one of the registered names
+        (``"sigma"``, ``"stateless"``, ``"stateful"``, ``"extreme_binning"``,
+        ``"chunk_dht"``).
+    chunker:
+        Chunking algorithm (defaults to 4 KB static chunking).
+    superchunk_size / handprint_size:
+        Routing-granularity parameters (paper defaults: 1 MB and 8).
+    node_config:
+        Per-node structural configuration.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        routing: "RoutingScheme | str" = "sigma",
+        chunker: Optional[Chunker] = None,
+        superchunk_size: int = DEFAULT_SUPERCHUNK_SIZE,
+        handprint_size: int = DEFAULT_HANDPRINT_SIZE,
+        node_config: Optional[NodeConfig] = None,
+        fingerprint_algorithm: str = "sha1",
+    ):
+        if isinstance(routing, str):
+            try:
+                routing_scheme = ALL_SCHEMES[routing]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown routing scheme {routing!r}; expected one of {sorted(ALL_SCHEMES)}"
+                ) from None
+        else:
+            routing_scheme = routing
+        self.cluster = DedupeCluster(
+            num_nodes=num_nodes, node_config=node_config, routing_scheme=routing_scheme
+        )
+        self.director = Director()
+        self.restore_manager = RestoreManager(self.cluster, self.director)
+        self._partitioner_config = PartitionerConfig(
+            chunker=chunker or StaticChunker(4096),
+            superchunk_size=superchunk_size,
+            handprint_size=handprint_size,
+            fingerprint_algorithm=fingerprint_algorithm,
+        )
+        self._clients: Dict[str, BackupClient] = {}
+
+    # ------------------------------------------------------------------ #
+    # clients
+    # ------------------------------------------------------------------ #
+
+    def client(self, client_id: str = "default") -> BackupClient:
+        """Return (creating on first use) the backup client named ``client_id``."""
+        if client_id not in self._clients:
+            self._clients[client_id] = BackupClient(
+                client_id=client_id,
+                cluster=self.cluster,
+                director=self.director,
+                partitioner_config=self._partitioner_config,
+            )
+        return self._clients[client_id]
+
+    # ------------------------------------------------------------------ #
+    # backup / restore
+    # ------------------------------------------------------------------ #
+
+    def backup(
+        self,
+        files: Iterable[Tuple[str, bytes]],
+        client_id: str = "default",
+        session_label: str = "",
+    ) -> BackupReport:
+        """Back up ``(path, data)`` pairs as one session and return a summary."""
+        client = self.client(client_id)
+        report = client.backup_files(files, session_label=session_label)
+        return BackupReport.from_client_report(report, self.cluster)
+
+    def restore(self, session_id: str, path: str) -> bytes:
+        """Restore one file from a previous backup session."""
+        return self.restore_manager.restore_file(session_id, path)
+
+    def restore_session(self, session_id: str) -> List[Tuple[str, bytes]]:
+        """Restore every file of a session as a list of ``(path, data)``."""
+        return list(self.restore_manager.restore_session(session_id))
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def deduplication_ratio(self) -> float:
+        return self.cluster.cluster_deduplication_ratio
+
+    def node_storage_usages(self) -> List[int]:
+        return self.cluster.storage_usages()
+
+    def describe(self) -> Dict[str, float]:
+        """Cluster-wide summary (delegates to the cluster)."""
+        return self.cluster.describe()

@@ -1,0 +1,177 @@
+"""Data partitioning: bytes -> chunks -> fingerprints -> super-chunks.
+
+This is the backup client's "data partitioning" and "chunk fingerprinting"
+modules (paper Section 3.1): each data stream is chunked with fixed or
+variable chunk size, chunk fingerprints are computed, and consecutive chunks
+are grouped into super-chunks for routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.chunking.base import Chunker
+from repro.chunking.fixed import StaticChunker
+from repro.core.superchunk import DEFAULT_SUPERCHUNK_SIZE, SuperChunk
+from repro.fingerprint.fingerprinter import ChunkRecord, Fingerprinter
+from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE
+
+
+@dataclass
+class PartitionerConfig:
+    """Configuration for the client-side partitioning pipeline.
+
+    Attributes
+    ----------
+    chunker:
+        The chunking algorithm (defaults to 4 KB static chunking, the paper's
+        chosen configuration for the cluster experiments).
+    superchunk_size:
+        Target super-chunk size in bytes (paper default: 1 MB).
+    handprint_size:
+        Number of representative fingerprints per handprint (paper default: 8).
+    fingerprint_algorithm:
+        Hash used for chunk fingerprints (paper default: SHA-1).
+    keep_chunk_data:
+        Whether chunk payloads are retained in the records (set to ``False``
+        for pure accounting simulations to save memory).
+    """
+
+    chunker: Chunker = field(default_factory=lambda: StaticChunker(4096))
+    superchunk_size: int = DEFAULT_SUPERCHUNK_SIZE
+    handprint_size: int = DEFAULT_HANDPRINT_SIZE
+    fingerprint_algorithm: str = "sha1"
+    keep_chunk_data: bool = True
+
+    def __post_init__(self) -> None:
+        if self.superchunk_size < self.chunker.average_chunk_size:
+            raise ValueError("superchunk_size must be at least one average chunk")
+        if self.handprint_size < 1:
+            raise ValueError("handprint_size must be >= 1")
+
+
+class StreamPartitioner:
+    """Chunk, fingerprint and group a data stream into super-chunks."""
+
+    def __init__(self, config: Optional[PartitionerConfig] = None):
+        self.config = config or PartitionerConfig()
+        self.fingerprinter = Fingerprinter(self.config.fingerprint_algorithm)
+
+    # ------------------------------------------------------------------ #
+    # chunk-level helpers
+    # ------------------------------------------------------------------ #
+
+    def chunk_records(self, data: bytes) -> List[ChunkRecord]:
+        """Chunk and fingerprint a byte buffer."""
+        return self.fingerprinter.fingerprint_stream(
+            data, self.config.chunker, keep_data=self.config.keep_chunk_data
+        )
+
+    # ------------------------------------------------------------------ #
+    # super-chunk grouping
+    # ------------------------------------------------------------------ #
+
+    def group_into_superchunks(
+        self,
+        records: Iterable[ChunkRecord],
+        stream_id: int = 0,
+        start_sequence: int = 0,
+    ) -> Iterator[SuperChunk]:
+        """Group consecutive chunk records into super-chunks of the target size."""
+        pending: List[ChunkRecord] = []
+        pending_bytes = 0
+        sequence = start_sequence
+        for record in records:
+            pending.append(record)
+            pending_bytes += record.length
+            if pending_bytes >= self.config.superchunk_size:
+                yield SuperChunk.from_chunks(
+                    pending,
+                    handprint_size=self.config.handprint_size,
+                    stream_id=stream_id,
+                    sequence_number=sequence,
+                )
+                sequence += 1
+                pending = []
+                pending_bytes = 0
+        if pending:
+            yield SuperChunk.from_chunks(
+                pending,
+                handprint_size=self.config.handprint_size,
+                stream_id=stream_id,
+                sequence_number=sequence,
+            )
+
+    def partition(self, data: bytes, stream_id: int = 0) -> List[SuperChunk]:
+        """Full pipeline over one byte buffer: chunk, fingerprint, group."""
+        return list(self.group_into_superchunks(self.chunk_records(data), stream_id=stream_id))
+
+    def partition_files(
+        self,
+        files: Iterable[Tuple[str, bytes]],
+        stream_id: int = 0,
+    ) -> Iterator[Tuple[SuperChunk, List[Tuple[str, List[ChunkRecord]]]]]:
+        """Partition a sequence of ``(path, data)`` files into super-chunks.
+
+        Super-chunks are cut across file boundaries (the stream is the unit of
+        grouping, as in the paper), so each yielded super-chunk is accompanied
+        by the list of ``(path, chunk_records)`` contributions it contains,
+        which the director needs to build per-file recipes.
+        """
+        pending: List[ChunkRecord] = []
+        pending_files: List[Tuple[str, List[ChunkRecord]]] = []
+        pending_bytes = 0
+        sequence = 0
+
+        def flush() -> Optional[Tuple[SuperChunk, List[Tuple[str, List[ChunkRecord]]]]]:
+            nonlocal pending, pending_files, pending_bytes, sequence
+            if not pending:
+                return None
+            superchunk = SuperChunk.from_chunks(
+                pending,
+                handprint_size=self.config.handprint_size,
+                stream_id=stream_id,
+                sequence_number=sequence,
+            )
+            contributions = pending_files
+            sequence += 1
+            pending = []
+            pending_files = []
+            pending_bytes = 0
+            return superchunk, contributions
+
+        for path, data in files:
+            records = self.chunk_records(data)
+            if not records:
+                # Zero-byte file: record an empty contribution so a recipe exists.
+                pending_files.append((path, []))
+                continue
+            file_records: List[ChunkRecord] = []
+            pending_files.append((path, file_records))
+            for record in records:
+                pending.append(record)
+                file_records.append(record)
+                pending_bytes += record.length
+                if pending_bytes >= self.config.superchunk_size:
+                    result = flush()
+                    if result is not None:
+                        yield result
+                    # Continue the same file into the next super-chunk.
+                    file_records = []
+                    pending_files.append((path, file_records))
+            # Drop a trailing empty continuation marker for this file, if any.
+            if not file_records and pending_files and pending_files[-1][0] == path:
+                if pending_files[-1][1] is file_records:
+                    pending_files.pop()
+        result = flush()
+        if result is not None:
+            yield result
+
+    def partition_record_stream(
+        self,
+        records: Sequence[ChunkRecord],
+        stream_id: int = 0,
+    ) -> List[SuperChunk]:
+        """Group pre-fingerprinted records (trace workloads) into super-chunks."""
+        return list(self.group_into_superchunks(records, stream_id=stream_id))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro (Sigma-Dedupe reproduction) library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  Subsystems raise the most specific subclass that
+applies; generic ``ValueError``/``TypeError`` are reserved for plain argument
+validation that has nothing to do with deduplication semantics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ChunkingError(ReproError):
+    """Raised when a chunker is misconfigured or fed invalid data."""
+
+
+class FingerprintError(ReproError):
+    """Raised for fingerprinting problems (unknown algorithm, bad digest)."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the storage substrate (containers, indexes)."""
+
+
+class ContainerFullError(StorageError):
+    """Raised when a chunk is appended to a container that cannot hold it."""
+
+
+class ContainerNotFoundError(StorageError):
+    """Raised when a container id is not present in a container store."""
+
+
+class ChunkNotFoundError(StorageError):
+    """Raised when a chunk fingerprint cannot be resolved during restore."""
+
+
+class RoutingError(ReproError):
+    """Raised when a data-routing scheme cannot produce a target node."""
+
+
+class ClusterError(ReproError):
+    """Raised for cluster-level configuration or protocol problems."""
+
+
+class NodeNotFoundError(ClusterError):
+    """Raised when a node id does not exist in the cluster."""
+
+
+class RecipeError(ReproError):
+    """Raised when a file recipe is missing or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is misconfigured."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation experiment is misconfigured."""

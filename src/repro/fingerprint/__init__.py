@@ -1,0 +1,29 @@
+"""Chunk fingerprinting and super-chunk handprinting.
+
+* :class:`~repro.fingerprint.fingerprinter.Fingerprinter` turns raw chunks
+  into :class:`~repro.fingerprint.fingerprinter.ChunkRecord` objects carrying
+  a cryptographic fingerprint (SHA-1 by default, as chosen in Section 4.3).
+* :mod:`~repro.fingerprint.handprint` implements the paper's handprinting
+  technique -- deterministic min-k sampling of chunk fingerprints -- together
+  with exact Jaccard resemblance and its handprint-based estimate (Section 2.2,
+  Equations 1-5).
+"""
+
+from repro.fingerprint.fingerprinter import ChunkRecord, Fingerprinter
+from repro.fingerprint.handprint import (
+    Handprint,
+    compute_handprint,
+    estimate_resemblance,
+    jaccard_resemblance,
+    probability_handprints_intersect,
+)
+
+__all__ = [
+    "ChunkRecord",
+    "Fingerprinter",
+    "Handprint",
+    "compute_handprint",
+    "estimate_resemblance",
+    "jaccard_resemblance",
+    "probability_handprints_intersect",
+]

@@ -1,0 +1,34 @@
+"""Evaluation metrics of the paper (Section 4.2).
+
+* :mod:`repro.metrics.dedup` -- deduplication ratio (DR), deduplication
+  efficiency (bytes saved per second, Eq. 6), normalized deduplication ratio
+  and normalized effective deduplication ratio (Eq. 7).
+* :mod:`repro.metrics.skew` -- storage-usage balance statistics.
+* :mod:`repro.metrics.ram_model` -- the analytic RAM-usage comparison of
+  Section 4.3 (DDFS Bloom filter vs Extreme Binning file index vs
+  Sigma-Dedupe similarity index).
+* :mod:`repro.metrics.report` -- plain-text table formatting for benches.
+"""
+
+from repro.metrics.dedup import (
+    deduplication_efficiency,
+    deduplication_ratio,
+    effective_deduplication_ratio,
+    normalized_deduplication_ratio,
+    normalized_effective_deduplication_ratio,
+)
+from repro.metrics.skew import StorageSkew, storage_skew
+from repro.metrics.ram_model import RamUsageModel
+from repro.metrics.report import format_table
+
+__all__ = [
+    "deduplication_ratio",
+    "deduplication_efficiency",
+    "normalized_deduplication_ratio",
+    "effective_deduplication_ratio",
+    "normalized_effective_deduplication_ratio",
+    "StorageSkew",
+    "storage_skew",
+    "RamUsageModel",
+    "format_table",
+]

@@ -1,0 +1,83 @@
+"""Deduplication effectiveness and efficiency metrics (paper Section 4.2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.stats import mean, population_stddev
+
+
+def deduplication_ratio(logical_bytes: int, physical_bytes: int) -> float:
+    """Deduplication ratio DR = logical size / physical size.
+
+    A dataset with no redundancy has DR = 1.0; the paper's Mail trace reaches
+    about 10.5.  An empty dataset is defined as DR = 1.0; storing nothing while
+    having presented data is infinite DR.
+    """
+    if logical_bytes < 0 or physical_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if physical_bytes == 0:
+        return 1.0 if logical_bytes == 0 else float("inf")
+    return logical_bytes / physical_bytes
+
+
+def deduplication_efficiency(
+    logical_bytes: int, physical_bytes: int, process_seconds: float
+) -> float:
+    """Deduplication efficiency DE = (L - P) / T ("bytes saved per second", Eq. 6).
+
+    Encompasses both effectiveness (how much was saved) and overhead (how long
+    it took); the metric used for the chunk-size sensitivity study of
+    Figure 5(a).
+    """
+    if process_seconds <= 0:
+        raise ValueError("process_seconds must be positive")
+    if logical_bytes < 0 or physical_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    return (logical_bytes - physical_bytes) / process_seconds
+
+
+def normalized_deduplication_ratio(
+    cluster_deduplication_ratio: float, single_node_deduplication_ratio: float
+) -> float:
+    """Cluster DR divided by the single-node exact-deduplication DR.
+
+    1.0 means the cluster loses nothing relative to one giant exact-dedup node;
+    lower values quantify the "deduplication node information island" effect.
+    """
+    if single_node_deduplication_ratio <= 0:
+        raise ValueError("single_node_deduplication_ratio must be positive")
+    return cluster_deduplication_ratio / single_node_deduplication_ratio
+
+
+def effective_deduplication_ratio(
+    cluster_deduplication_ratio: float, storage_usages: Sequence[float]
+) -> float:
+    """Cluster DR discounted by storage imbalance: CDR * alpha / (alpha + sigma).
+
+    ``alpha`` is the mean and ``sigma`` the standard deviation of per-node
+    physical storage usage.  A perfectly balanced cluster keeps its full DR; a
+    skewed one is penalised, because the most-loaded node limits usable
+    capacity.
+    """
+    alpha = mean(storage_usages)
+    sigma = population_stddev(storage_usages)
+    if alpha + sigma == 0:
+        return cluster_deduplication_ratio
+    return cluster_deduplication_ratio * (alpha / (alpha + sigma))
+
+
+def normalized_effective_deduplication_ratio(
+    cluster_deduplication_ratio: float,
+    single_node_deduplication_ratio: float,
+    storage_usages: Sequence[float],
+) -> float:
+    """NEDR = (CDR / SDR) * (alpha / (alpha + sigma)) -- Eq. (7) of the paper."""
+    normalized = normalized_deduplication_ratio(
+        cluster_deduplication_ratio, single_node_deduplication_ratio
+    )
+    alpha = mean(storage_usages)
+    sigma = population_stddev(storage_usages)
+    if alpha + sigma == 0:
+        return normalized
+    return normalized * (alpha / (alpha + sigma))

@@ -1,0 +1,13 @@
+"""A single deduplication server node.
+
+:class:`~repro.node.dedupe_node.DedupeNode` implements the full intra-node
+deduplication path of Figure 3: similarity-index lookup, chunk-fingerprint
+cache with container-granularity prefetch, on-disk chunk index fallback, and
+parallel container management.  :class:`~repro.node.stats.NodeStats` collects
+the counters the evaluation metrics are computed from.
+"""
+
+from repro.node.dedupe_node import DedupeNode, NodeConfig, SuperChunkBackupResult
+from repro.node.stats import NodeStats
+
+__all__ = ["DedupeNode", "NodeConfig", "SuperChunkBackupResult", "NodeStats"]

@@ -1,0 +1,265 @@
+"""The deduplication server node.
+
+Implements the intra-node backup path described in Section 3.3 of the paper:
+
+1. The node receives a super-chunk whose handprint has already been matched
+   against its similarity index during routing.
+2. For every matched representative fingerprint the mapped container's
+   fingerprints are prefetched into the chunk fingerprint cache.
+3. Each chunk fingerprint of the super-chunk is looked up first in the cache,
+   then (on a miss) in the on-disk chunk index.
+4. Chunks still unmatched are unique: they are appended to the stream's open
+   container, the similarity index is updated with the super-chunk's handprint
+   pointing at that container, and the disk index learns the new fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.superchunk import SuperChunk
+from repro.errors import ChunkNotFoundError
+from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.fingerprint.handprint import Handprint
+from repro.node.stats import NodeStats
+from repro.storage.chunk_index import DiskChunkIndex
+from repro.storage.container import DEFAULT_CONTAINER_CAPACITY
+from repro.storage.container_store import ContainerStore
+from repro.storage.fingerprint_cache import (
+    DEFAULT_CACHE_CAPACITY_CONTAINERS,
+    ChunkFingerprintCache,
+)
+from repro.storage.similarity_index import SimilarityIndex
+
+
+@dataclass
+class NodeConfig:
+    """Configuration of a deduplication node.
+
+    Attributes
+    ----------
+    container_capacity:
+        Data-section capacity of each container.
+    cache_capacity_containers:
+        How many containers' fingerprints the chunk fingerprint cache holds.
+    similarity_index_locks:
+        Number of lock stripes in the similarity index.
+    enable_disk_index:
+        When ``False`` the node runs in "similarity-index-only" mode, the
+        approximate-deduplication ablation of Figure 5(b).
+    """
+
+    container_capacity: int = DEFAULT_CONTAINER_CAPACITY
+    cache_capacity_containers: int = DEFAULT_CACHE_CAPACITY_CONTAINERS
+    similarity_index_locks: int = 1024
+    enable_disk_index: bool = True
+
+
+@dataclass
+class SuperChunkBackupResult:
+    """Outcome of backing up one super-chunk at a node."""
+
+    node_id: int
+    unique_chunks: int
+    duplicate_chunks: int
+    unique_bytes: int
+    duplicate_bytes: int
+    chunk_locations: Dict[bytes, int]
+
+    @property
+    def total_chunks(self) -> int:
+        return self.unique_chunks + self.duplicate_chunks
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.unique_bytes + self.duplicate_bytes
+
+
+class DedupeNode:
+    """One deduplication server of the cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier of this node within the cluster (0-based).
+    config:
+        Structural configuration; defaults follow the paper's choices.
+    """
+
+    def __init__(self, node_id: int, config: Optional[NodeConfig] = None):
+        self.node_id = node_id
+        self.config = config or NodeConfig()
+        self.similarity_index = SimilarityIndex(num_locks=self.config.similarity_index_locks)
+        self.fingerprint_cache = ChunkFingerprintCache(self.config.cache_capacity_containers)
+        self.container_store = ContainerStore(self.config.container_capacity)
+        self.disk_index = DiskChunkIndex(enabled=self.config.enable_disk_index)
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------ #
+    # routing support (pre-routing query)
+    # ------------------------------------------------------------------ #
+
+    def resemblance_query(self, handprint: Handprint) -> int:
+        """Count how many of the handprint's RFPs this node already stores.
+
+        This is the message a candidate node answers during Algorithm 1 step 2.
+        """
+        self.stats.resemblance_queries += 1
+        return self.similarity_index.resemblance_count(handprint)
+
+    @property
+    def storage_usage(self) -> int:
+        """Physical bytes stored on this node (capacity-load-balance input)."""
+        return self.container_store.stored_bytes
+
+    # ------------------------------------------------------------------ #
+    # backup path
+    # ------------------------------------------------------------------ #
+
+    def lookup_chunk(self, fingerprint: bytes) -> Optional[int]:
+        """Find the container storing ``fingerprint`` via cache then disk index."""
+        self.stats.intra_node_lookup_messages += 1
+        container_id = self.fingerprint_cache.lookup(fingerprint)
+        if container_id is not None:
+            self.stats.cache_hits += 1
+            return container_id
+        self.stats.cache_misses += 1
+        if not self.disk_index.enabled:
+            return None
+        self.stats.disk_index_lookups += 1
+        container_id = self.disk_index.lookup(fingerprint)
+        if container_id is not None:
+            self.stats.disk_index_hits += 1
+            # Exploit locality: prefetch the whole container's fingerprints.
+            self._prefetch_container(container_id)
+        return container_id
+
+    def _prefetch_container(self, container_id: int) -> None:
+        if self.fingerprint_cache.is_container_cached(container_id):
+            return
+        fingerprints = self.container_store.prefetch_metadata(container_id)
+        self.fingerprint_cache.prefetch_container(container_id, fingerprints)
+        self.stats.container_prefetches += 1
+
+    def backup_superchunk(self, superchunk: SuperChunk) -> SuperChunkBackupResult:
+        """Deduplicate and store one super-chunk routed to this node."""
+        self.stats.superchunks_received += 1
+        self.stats.logical_bytes += superchunk.logical_size
+
+        # Step 1: similarity-index lookup for the handprint, prefetch matched
+        # containers' fingerprints into the cache.
+        matched_containers = self.similarity_index.lookup_handprint(superchunk.handprint)
+        for container_id in matched_containers:
+            self._prefetch_container(container_id)
+
+        unique_chunks = 0
+        duplicate_chunks = 0
+        unique_bytes = 0
+        duplicate_bytes = 0
+        chunk_locations: Dict[bytes, int] = {}
+        seen_in_superchunk: Dict[bytes, int] = {}
+
+        for chunk in superchunk.chunks:
+            fingerprint = chunk.fingerprint
+            # Intra-super-chunk duplicates resolve to wherever the first copy went.
+            if fingerprint in seen_in_superchunk:
+                duplicate_chunks += 1
+                duplicate_bytes += chunk.length
+                chunk_locations[fingerprint] = seen_in_superchunk[fingerprint]
+                continue
+            container_id = self.lookup_chunk(fingerprint)
+            if container_id is not None:
+                duplicate_chunks += 1
+                duplicate_bytes += chunk.length
+            else:
+                container_id = self._store_unique_chunk(chunk, superchunk.stream_id)
+                unique_chunks += 1
+                unique_bytes += chunk.length
+            chunk_locations[fingerprint] = container_id
+            seen_in_superchunk[fingerprint] = container_id
+
+        # Step 4: index the super-chunk's handprint.  Each representative
+        # fingerprint maps to the container now holding it (or holding the
+        # duplicate it matched).
+        self._index_handprint(superchunk.handprint, chunk_locations)
+
+        self.stats.physical_bytes += unique_bytes
+        self.stats.unique_chunks += unique_chunks
+        self.stats.duplicate_chunks += duplicate_chunks
+        self.stats.duplicate_bytes += duplicate_bytes
+
+        return SuperChunkBackupResult(
+            node_id=self.node_id,
+            unique_chunks=unique_chunks,
+            duplicate_chunks=duplicate_chunks,
+            unique_bytes=unique_bytes,
+            duplicate_bytes=duplicate_bytes,
+            chunk_locations=chunk_locations,
+        )
+
+    def _store_unique_chunk(self, chunk: ChunkRecord, stream_id: int) -> int:
+        container_id = self.container_store.store_chunk(chunk, stream_id=stream_id)
+        self.disk_index.insert(chunk.fingerprint, container_id)
+        self.fingerprint_cache.add_fingerprint(container_id, chunk.fingerprint)
+        return container_id
+
+    def _index_handprint(self, handprint: Handprint, chunk_locations: Dict[bytes, int]) -> None:
+        for fingerprint in handprint:
+            container_id = chunk_locations.get(fingerprint)
+            if container_id is not None:
+                self.similarity_index.insert(fingerprint, container_id)
+
+    def flush(self) -> None:
+        """Seal open containers at the end of a backup session."""
+        self.container_store.flush()
+
+    # ------------------------------------------------------------------ #
+    # restore path
+    # ------------------------------------------------------------------ #
+
+    def read_chunk(self, fingerprint: bytes, container_id: Optional[int] = None) -> bytes:
+        """Return the payload of a stored chunk for restore.
+
+        If the container id is known from the file recipe it is used directly;
+        otherwise the node falls back to its cache and disk index.
+        """
+        if container_id is None:
+            container_id = self.fingerprint_cache.lookup(fingerprint)
+        if container_id is None:
+            container_id = self.disk_index.lookup(fingerprint)
+        if container_id is None:
+            raise ChunkNotFoundError(
+                f"chunk {fingerprint.hex()} is not stored on node {self.node_id}"
+            )
+        data = self.container_store.read_chunk(container_id, fingerprint)
+        if data is None:
+            raise ChunkNotFoundError(
+                f"container {container_id} on node {self.node_id} does not hold "
+                f"chunk {fingerprint.hex()}"
+            )
+        return data
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ram_usage_bytes(self) -> int:
+        """Similarity-index RAM footprint (the paper's RAM-usage comparison)."""
+        return self.similarity_index.size_in_bytes
+
+    def describe(self) -> Dict[str, float]:
+        """A flat summary combining stats with storage/cache counters."""
+        summary = self.stats.as_dict()
+        summary.update(
+            {
+                "node_id": self.node_id,
+                "containers": self.container_store.container_count,
+                "stored_bytes": self.container_store.stored_bytes,
+                "similarity_index_entries": len(self.similarity_index),
+                "similarity_index_bytes": self.similarity_index.size_in_bytes,
+                "cache_hit_ratio": self.fingerprint_cache.hit_ratio,
+            }
+        )
+        return summary

@@ -1,0 +1,24 @@
+"""Multi-stream parallel deduplication (intra-node, Section 4.3).
+
+The paper develops parallel deduplication on multiple data streams per node
+("we assign a deduplication thread for each data stream") and measures how
+chunking, fingerprinting and similarity-index lookup throughput scale with the
+number of streams and locks.  This package provides the thread-based pipeline
+and the measurement helpers the Figure 4 benchmarks use.
+"""
+
+from repro.parallel.pipeline import (
+    ParallelDedupePipeline,
+    ThroughputSample,
+    measure_chunking_throughput,
+    measure_fingerprinting_throughput,
+    measure_similarity_index_lookup,
+)
+
+__all__ = [
+    "ParallelDedupePipeline",
+    "ThroughputSample",
+    "measure_chunking_throughput",
+    "measure_fingerprinting_throughput",
+    "measure_similarity_index_lookup",
+]

@@ -1,0 +1,44 @@
+"""Inter-node data routing schemes.
+
+The cluster assigns backup data to deduplication nodes through a *data
+routing* scheme.  This package implements the paper's contribution and every
+baseline it is compared against (Table 1, Figures 7 and 8):
+
+* :class:`~repro.routing.sigma.SigmaRouting` -- similarity-based stateful
+  routing at super-chunk granularity (Algorithm 1, the paper's contribution).
+* :class:`~repro.routing.stateless.StatelessRouting` -- EMC's stateless
+  super-chunk routing (DHT on a representative fingerprint).
+* :class:`~repro.routing.stateful.StatefulRouting` -- EMC's stateful
+  super-chunk routing (broadcast sampled-fingerprint query to every node).
+* :class:`~repro.routing.extreme_binning.ExtremeBinningRouting` -- file-level
+  similarity routing on the minimum chunk fingerprint.
+* :class:`~repro.routing.chunk_dht.ChunkDHTRouting` -- HYDRAstor-style
+  chunk-level DHT routing (large chunks, no routing state).
+"""
+
+from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
+from repro.routing.stateless import StatelessRouting
+from repro.routing.stateful import StatefulRouting
+from repro.routing.extreme_binning import ExtremeBinningRouting
+from repro.routing.sigma import SigmaRouting
+from repro.routing.chunk_dht import ChunkDHTRouting
+
+ALL_SCHEMES = {
+    "sigma": SigmaRouting,
+    "stateless": StatelessRouting,
+    "stateful": StatefulRouting,
+    "extreme_binning": ExtremeBinningRouting,
+    "chunk_dht": ChunkDHTRouting,
+}
+
+__all__ = [
+    "ClusterView",
+    "RoutingDecision",
+    "RoutingScheme",
+    "StatelessRouting",
+    "StatefulRouting",
+    "ExtremeBinningRouting",
+    "SigmaRouting",
+    "ChunkDHTRouting",
+    "ALL_SCHEMES",
+]

@@ -1,0 +1,99 @@
+"""EMC-style stateful super-chunk routing (the broadcast baseline).
+
+"Stateful routing is designed for large clusters to achieve high global
+deduplication effectiveness by effectively detecting cross-node data
+redundancy with the state information, but at the cost of very high system
+overhead required to route similar data to the same node ...  Stateful
+routing, on the other hand, must send the fingerprint lookup requests to all
+nodes, resulting in 1-to-all communication that causes the system overhead to
+grow linearly with the cluster size even though it can reduce the overhead in
+each node by using a sampling scheme." (paper Sections 2.1 and 4.4)
+
+For each super-chunk the client samples the chunk fingerprints (1/``sample_rate``
+of them), broadcasts the sample to every node, collects per-node match counts,
+discounts them by relative storage usage for load balance, and routes to the
+best node.  This is the high-effectiveness / high-overhead upper baseline of
+Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.superchunk import SuperChunk
+from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
+from repro.utils.hashing import digest_to_int
+
+DEFAULT_SAMPLE_RATE = 32
+"""Sample one in every 32 chunk fingerprints, the rate the paper assumes."""
+
+
+class StatefulRouting(RoutingScheme):
+    """Broadcast sampled fingerprints to every node; route to the best match.
+
+    Parameters
+    ----------
+    sample_rate:
+        One fingerprint out of every ``sample_rate`` is included in the
+        broadcast query (deterministic sampling by smallest fingerprints so
+        repeated super-chunks sample identically).
+    use_load_balance:
+        Discount match counts by relative storage usage, as EMC's bin-based
+        stateful routing does, so an over-full node is not chosen on ties.
+    """
+
+    name = "stateful"
+    granularity = "superchunk"
+    requires_file_metadata = False
+    is_stateful = True
+
+    def __init__(self, sample_rate: int = DEFAULT_SAMPLE_RATE, use_load_balance: bool = True):
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
+        self.sample_rate = sample_rate
+        self.use_load_balance = use_load_balance
+
+    def _sample_fingerprints(self, superchunk: SuperChunk) -> List[bytes]:
+        """Deterministically sample ~1/sample_rate of the distinct fingerprints."""
+        distinct = sorted(set(superchunk.fingerprints), key=digest_to_int)
+        sample_size = max(1, len(distinct) // self.sample_rate)
+        return distinct[:sample_size]
+
+    def route(self, superchunk: SuperChunk, cluster: ClusterView) -> RoutingDecision:
+        self._check_cluster(cluster)
+        sample = self._sample_fingerprints(superchunk)
+        num_nodes = cluster.num_nodes
+
+        candidate_nodes = list(range(num_nodes))
+        usages = [cluster.node_storage_usage(node_id) for node_id in candidate_nodes]
+        match_counts: List[int] = [
+            cluster.sample_match_count(node_id, sample) for node_id in candidate_nodes
+        ]
+
+        best_matches = max(match_counts)
+        if best_matches > 0:
+            # Route to the node that already stores most of the sample; on a
+            # tie, prefer the least-loaded of the tied nodes (EMC's stateful
+            # routing weighs matches against bin usage in the same spirit).
+            if self.use_load_balance:
+                tied = [
+                    index
+                    for index, matches in enumerate(match_counts)
+                    if matches == best_matches
+                ]
+                target = candidate_nodes[min(tied, key=lambda index: usages[index])]
+            else:
+                target = candidate_nodes[match_counts.index(best_matches)]
+        else:
+            # No node has seen any sampled fingerprint: place on the least
+            # loaded node to keep capacity balanced.
+            target = candidate_nodes[usages.index(min(usages))]
+
+        # 1-to-all communication: every node receives the sampled fingerprints.
+        pre_routing_messages = len(sample) * num_nodes
+        return RoutingDecision(
+            target_node=target,
+            pre_routing_lookup_messages=pre_routing_messages,
+            candidate_nodes=candidate_nodes,
+            resemblances=[float(count) for count in match_counts],
+        )

@@ -1,0 +1,33 @@
+"""Storage substrate of a deduplication server node.
+
+Implements the data structures of Figure 3 of the paper:
+
+* :class:`~repro.storage.container.Container` -- the self-describing on-disk
+  unit that preserves locality: a data section of chunks plus a metadata
+  section of their fingerprints/offsets/lengths.
+* :class:`~repro.storage.container_store.ContainerStore` -- parallel container
+  management (allocate / open-per-stream / seal / read), with disk-I/O
+  accounting performed at container granularity.
+* :class:`~repro.storage.similarity_index.SimilarityIndex` -- the in-RAM
+  hash table mapping representative fingerprints (RFP) to container IDs (CID),
+  with striped bucket locking for concurrent lookups.
+* :class:`~repro.storage.fingerprint_cache.ChunkFingerprintCache` -- the LRU
+  cache of per-container fingerprint sets, prefetched a container at a time.
+* :class:`~repro.storage.chunk_index.DiskChunkIndex` -- the traditional
+  full on-disk chunk index consulted only when the cache misses.
+"""
+
+from repro.storage.container import Container, ContainerMetadataEntry
+from repro.storage.container_store import ContainerStore
+from repro.storage.chunk_index import DiskChunkIndex
+from repro.storage.fingerprint_cache import ChunkFingerprintCache
+from repro.storage.similarity_index import SimilarityIndex
+
+__all__ = [
+    "Container",
+    "ContainerMetadataEntry",
+    "ContainerStore",
+    "DiskChunkIndex",
+    "ChunkFingerprintCache",
+    "SimilarityIndex",
+]

@@ -1,0 +1,137 @@
+"""Parallel container management.
+
+"Our deduplication server design supports parallel container management to
+allocate, deallocate, read, write and reliably store containers in parallel.
+For parallel data store, a dedicated open container is maintained for each
+coming data stream, and a new one is opened up when the container fills up.
+All disk accesses are performed at the granularity of a container."
+(paper Section 3.3)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import ContainerNotFoundError
+from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.storage.container import Container, DEFAULT_CONTAINER_CAPACITY
+
+
+class ContainerStore:
+    """Holds every container of one deduplication node.
+
+    A dedicated open container is kept per data stream; appending a chunk that
+    does not fit seals the open container and opens a new one.  Disk reads and
+    writes are counted at container granularity through the ``container_reads``
+    and ``container_writes`` counters, which the simulator uses as its model of
+    disk I/O cost.
+    """
+
+    def __init__(self, container_capacity: int = DEFAULT_CONTAINER_CAPACITY):
+        if container_capacity < 1:
+            raise ValueError("container_capacity must be positive")
+        self.container_capacity = container_capacity
+        self._containers: Dict[int, Container] = {}
+        self._open_by_stream: Dict[int, Container] = {}
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self.container_reads = 0
+        self.container_writes = 0
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    def _allocate(self, stream_id: int) -> Container:
+        container = Container(
+            container_id=self._next_id,
+            capacity=self.container_capacity,
+            stream_id=stream_id,
+        )
+        self._containers[self._next_id] = container
+        self._next_id += 1
+        return container
+
+    def open_container(self, stream_id: int = 0) -> Container:
+        """Return the open container for ``stream_id``, allocating one if needed."""
+        with self._lock:
+            container = self._open_by_stream.get(stream_id)
+            if container is None or container.sealed:
+                container = self._allocate(stream_id)
+                self._open_by_stream[stream_id] = container
+            return container
+
+    def store_chunk(self, chunk: ChunkRecord, stream_id: int = 0) -> int:
+        """Store a unique chunk into the stream's open container.
+
+        Returns the container id the chunk was written to.  Sealing a full
+        container counts as one container write (the whole unit goes to disk).
+        """
+        with self._lock:
+            container = self._open_by_stream.get(stream_id)
+            if container is None or container.sealed or not container.has_room_for(chunk.length):
+                if container is not None and not container.sealed:
+                    container.seal()
+                    self.container_writes += 1
+                container = self._allocate(stream_id)
+                self._open_by_stream[stream_id] = container
+            container.append(chunk)
+            return container.container_id
+
+    def flush(self) -> None:
+        """Seal every open container (end of a backup session)."""
+        with self._lock:
+            for container in self._open_by_stream.values():
+                if not container.sealed and container.chunk_count > 0:
+                    container.seal()
+                    self.container_writes += 1
+            self._open_by_stream.clear()
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, container_id: int) -> Container:
+        """Return a container by id without touching the I/O counters."""
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise ContainerNotFoundError(f"container {container_id} does not exist") from None
+
+    def read_container(self, container_id: int) -> Container:
+        """Read a whole container from disk (counted as one container read)."""
+        container = self.get(container_id)
+        self.container_reads += 1
+        return container
+
+    def read_chunk(self, container_id: int, fingerprint: bytes) -> Optional[bytes]:
+        """Read a chunk payload out of a container (one container-granularity read)."""
+        container = self.read_container(container_id)
+        return container.read_chunk(fingerprint)
+
+    def prefetch_metadata(self, container_id: int) -> List[bytes]:
+        """Read the metadata section of a container: the fingerprint prefetch path."""
+        container = self.get(container_id)
+        self.container_reads += 1
+        return container.fingerprints()
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def container_count(self) -> int:
+        return len(self._containers)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes in all data sections (the node's physical capacity usage)."""
+        return sum(container.used for container in self._containers.values())
+
+    @property
+    def stored_chunks(self) -> int:
+        return sum(container.chunk_count for container in self._containers.values())
+
+    def container_ids(self) -> List[int]:
+        return list(self._containers.keys())

@@ -1,0 +1,110 @@
+"""Chunk fingerprint cache with container-granularity prefetching.
+
+"The chunk fingerprint cache ... keeps the chunk fingerprints of recently
+accessed containers in RAM.  Once a representative fingerprint is matched by a
+lookup request in the similarity index, all the chunk fingerprints belonging
+to the mapped container are prefetched into the chunk fingerprint cache ...
+A reasonable cache replacement policy is Least-Recently-Used (LRU) on cached
+chunk fingerprints." (paper Section 3.3)
+
+The cache is keyed by container id; each entry is the set of fingerprints of
+that container together with the container id, so a hit both confirms a chunk
+is a duplicate and tells the node which container already stores it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.utils.lru import LRUCache
+
+DEFAULT_CACHE_CAPACITY_CONTAINERS = 1024
+"""Default capacity expressed in number of cached containers."""
+
+
+class ChunkFingerprintCache:
+    """LRU cache of per-container fingerprint sets.
+
+    Parameters
+    ----------
+    capacity_containers:
+        Number of containers whose fingerprints can be cached simultaneously.
+    """
+
+    def __init__(self, capacity_containers: int = DEFAULT_CACHE_CAPACITY_CONTAINERS):
+        self._containers: LRUCache[int, Set[bytes]] = LRUCache(capacity_containers)
+        # Reverse map fingerprint -> container id for O(1) duplicate checks.
+        self._fingerprint_to_container: Dict[bytes, int] = {}
+        self._containers._on_evict = self._handle_eviction
+        self.prefetches = 0
+
+    def _handle_eviction(self, container_id: int, fingerprints: Set[bytes]) -> None:
+        for fingerprint in fingerprints:
+            if self._fingerprint_to_container.get(fingerprint) == container_id:
+                del self._fingerprint_to_container[fingerprint]
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+
+    def prefetch_container(self, container_id: int, fingerprints: Iterable[bytes]) -> None:
+        """Load all fingerprints of ``container_id`` into the cache."""
+        fingerprint_set = set(fingerprints)
+        self._containers.put(container_id, fingerprint_set)
+        for fingerprint in fingerprint_set:
+            self._fingerprint_to_container[fingerprint] = container_id
+        self.prefetches += 1
+
+    def add_fingerprint(self, container_id: int, fingerprint: bytes) -> None:
+        """Add a single fingerprint of a currently-open container to the cache."""
+        existing = self._containers.peek(container_id)
+        if existing is None:
+            existing = set()
+            self._containers.put(container_id, existing)
+        existing.add(fingerprint)
+        self._fingerprint_to_container[fingerprint] = container_id
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, fingerprint: bytes) -> Optional[int]:
+        """Return the container id caching ``fingerprint`` (and refresh its recency)."""
+        container_id = self._fingerprint_to_container.get(fingerprint)
+        if container_id is None:
+            # Count the miss on the LRU statistics without touching entries.
+            self._containers.misses += 1
+            return None
+        # Touch the container entry to refresh LRU order and record the hit.
+        if self._containers.get(container_id) is None:
+            # The reverse map was stale (entry evicted); treat as a miss.
+            del self._fingerprint_to_container[fingerprint]
+            return None
+        return container_id
+
+    def is_container_cached(self, container_id: int) -> bool:
+        return self._containers.peek(container_id) is not None
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hits(self) -> int:
+        return self._containers.hits
+
+    @property
+    def misses(self) -> int:
+        return self._containers.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self._containers.hit_ratio
+
+    @property
+    def cached_containers(self) -> int:
+        return len(self._containers)
+
+    @property
+    def cached_fingerprints(self) -> int:
+        return len(self._fingerprint_to_container)

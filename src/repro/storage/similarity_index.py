@@ -1,0 +1,143 @@
+"""The similarity index: representative fingerprint -> container id.
+
+"Similarity index is a hash-table based memory data structure, with each of
+its entry containing a mapping between a representative fingerprint (RFP) in a
+super-chunk handprint and the container ID (CID) where it is stored.  To
+support concurrent lookup operations in similarity index by multiple data
+streams on multicore deduplication nodes, we adopt a parallel similarity index
+lookup design and control the synchronization scheme by allocating a lock per
+hash bucket or for a constant number of consecutive hash buckets."
+(paper Section 3.3)
+
+The index answers two questions:
+
+* routing pre-query: *how many* representative fingerprints of an incoming
+  super-chunk's handprint are already known here (its resemblance count,
+  Algorithm 1 step 2), and
+* dedup lookup: *which containers* hold the matched representative
+  fingerprints, so their fingerprints can be prefetched into the chunk
+  fingerprint cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.fingerprint.handprint import Handprint
+from repro.utils.striped_lock import StripedLock
+
+DEFAULT_ENTRY_SIZE_BYTES = 40
+"""Per-entry RAM footprint assumed by the paper's RAM-usage estimate."""
+
+
+class SimilarityIndex:
+    """In-memory RFP -> CID mapping with striped-lock concurrency control.
+
+    Parameters
+    ----------
+    num_locks:
+        Number of lock stripes protecting the hash buckets (Figure 4(b) studies
+        how this number affects parallel lookup throughput).
+    entry_size_bytes:
+        Assumed RAM footprint per entry, for the RAM-usage accounting.
+    """
+
+    def __init__(self, num_locks: int = 1024, entry_size_bytes: int = DEFAULT_ENTRY_SIZE_BYTES):
+        self._entries: Dict[bytes, int] = {}
+        self._locks = StripedLock(num_locks)
+        self.entry_size_bytes = entry_size_bytes
+        self.lookups = 0
+        self.lookup_hits = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, representative_fingerprint: bytes) -> bool:
+        return representative_fingerprint in self._entries
+
+    @property
+    def num_locks(self) -> int:
+        return self._locks.num_stripes
+
+    # ------------------------------------------------------------------ #
+    # single-entry operations
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, representative_fingerprint: bytes) -> Optional[int]:
+        """Return the container id stored for an RFP, or ``None``."""
+        with self._locks.locked(representative_fingerprint):
+            self.lookups += 1
+            container_id = self._entries.get(representative_fingerprint)
+            if container_id is not None:
+                self.lookup_hits += 1
+            return container_id
+
+    def insert(self, representative_fingerprint: bytes, container_id: int) -> None:
+        """Insert or update the container id for an RFP."""
+        with self._locks.locked(representative_fingerprint):
+            self.inserts += 1
+            self._entries[representative_fingerprint] = container_id
+
+    # ------------------------------------------------------------------ #
+    # handprint-level operations
+    # ------------------------------------------------------------------ #
+
+    def resemblance_count(self, handprint: Handprint) -> int:
+        """Number of the handprint's RFPs already present in this index.
+
+        This is the count ``r_i`` each candidate node returns during the
+        pre-routing query of Algorithm 1 (step 2).
+        """
+        count = 0
+        for fingerprint in handprint:
+            with self._locks.locked(fingerprint):
+                self.lookups += 1
+                if fingerprint in self._entries:
+                    self.lookup_hits += 1
+                    count += 1
+        return count
+
+    def lookup_handprint(self, handprint: Handprint) -> List[int]:
+        """Container ids of every matched RFP of ``handprint`` (deduplicated, ordered)."""
+        container_ids: List[int] = []
+        seen = set()
+        for fingerprint in handprint:
+            container_id = self.lookup(fingerprint)
+            if container_id is not None and container_id not in seen:
+                seen.add(container_id)
+                container_ids.append(container_id)
+        return container_ids
+
+    def insert_handprint(self, handprint: Handprint, container_id: int) -> None:
+        """Record every RFP of a newly stored super-chunk as residing in ``container_id``."""
+        for fingerprint in handprint:
+            self.insert(fingerprint, container_id)
+
+    def insert_handprint_containers(
+        self, handprint: Handprint, container_ids: Sequence[int]
+    ) -> None:
+        """Record each RFP with its own container id (parallel sequences)."""
+        if len(container_ids) != len(handprint.representative_fingerprints):
+            raise ValueError("container_ids must align with the handprint fingerprints")
+        for fingerprint, container_id in zip(handprint, container_ids):
+            self.insert(fingerprint, container_id)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Estimated RAM footprint of the index."""
+        return len(self._entries) * self.entry_size_bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.lookup_hits / self.lookups
+
+    def fingerprints(self) -> Iterable[bytes]:
+        """Iterate the representative fingerprints currently indexed."""
+        return iter(self._entries.keys())

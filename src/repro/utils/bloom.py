@@ -1,0 +1,78 @@
+"""A simple Bloom filter.
+
+The paper's RAM-usage comparison (Section 4.3) contrasts the similarity index
+of Sigma-Dedupe with the Bloom filter used by DDFS [3] and the file index of
+Extreme Binning.  This module provides a real Bloom filter so that the DDFS
+baseline in :mod:`repro.node` and the RAM model in :mod:`repro.metrics` are
+backed by an actual data structure rather than an abstract formula.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+
+class BloomFilter:
+    """A classic Bloom filter over byte-string items.
+
+    Parameters
+    ----------
+    expected_items:
+        The number of items the filter is sized for.
+    false_positive_rate:
+        Target false-positive probability at ``expected_items`` insertions.
+    """
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items < 1:
+            raise ValueError("expected_items must be >= 1")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        self.expected_items = expected_items
+        self.false_positive_rate = false_positive_rate
+        self.num_bits = self._optimal_bits(expected_items, false_positive_rate)
+        self.num_hashes = self._optimal_hashes(self.num_bits, expected_items)
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.count = 0
+
+    @staticmethod
+    def _optimal_bits(n: int, p: float) -> int:
+        return max(8, int(math.ceil(-n * math.log(p) / (math.log(2) ** 2))))
+
+    @staticmethod
+    def _optimal_hashes(m: int, n: int) -> int:
+        return max(1, int(round(m / n * math.log(2))))
+
+    def _positions(self, item: bytes) -> Iterable[int]:
+        # Double hashing: h_i(x) = h1(x) + i * h2(x), a standard Bloom construction.
+        digest = hashlib.sha256(item).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: bytes) -> None:
+        """Insert ``item`` into the filter."""
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self.count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item))
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def size_in_bytes(self) -> int:
+        """RAM footprint of the bit array in bytes."""
+        return len(self._bits)
+
+    def estimated_false_positive_rate(self) -> float:
+        """Estimate the current false-positive probability given ``count`` insertions."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes

@@ -1,0 +1,97 @@
+"""Workload abstractions.
+
+A *workload* is a sequence of backup snapshots (generations); each snapshot is
+a set of files.  Two families exist:
+
+* :class:`ContentWorkload` -- snapshots carry real file payloads (bytes), so
+  any chunker / chunk size can be applied to them.  The Linux and VM
+  generators are content workloads.
+* :class:`TraceWorkload` -- snapshots carry pre-chunked fingerprint records
+  with no payload and (as with the FIU traces) no meaningful file boundaries.
+  The Mail and Web generators are trace workloads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.fingerprint.fingerprinter import ChunkRecord
+
+
+@dataclass
+class WorkloadFile:
+    """One file of one backup snapshot.
+
+    Exactly one of ``data`` (content workloads) or ``chunks`` (trace
+    workloads) is populated.
+    """
+
+    path: str
+    data: bytes = b""
+    chunks: List[ChunkRecord] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        if self.chunks:
+            return sum(chunk.length for chunk in self.chunks)
+        return len(self.data)
+
+
+@dataclass
+class BackupSnapshot:
+    """One backup generation: a label plus the files captured in it."""
+
+    label: str
+    files: List[WorkloadFile] = field(default_factory=list)
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(file.size for file in self.files)
+
+    @property
+    def file_count(self) -> int:
+        return len(self.files)
+
+
+class Workload(ABC):
+    """Base class for every workload generator."""
+
+    #: Human-readable workload name (used in reports, mirrors Table 2 rows).
+    name: str = "workload"
+
+    #: Whether snapshots carry file boundaries usable by file-level routing
+    #: (Extreme Binning).  The FIU-style traces do not.
+    has_file_metadata: bool = True
+
+    @abstractmethod
+    def snapshots(self) -> Iterator[BackupSnapshot]:
+        """Yield the backup snapshots (generations) of this workload in order."""
+
+    def total_logical_bytes(self) -> int:
+        """Total bytes across all snapshots (materialises the workload once)."""
+        return sum(snapshot.logical_bytes for snapshot in self.snapshots())
+
+    def describe(self) -> dict:
+        """Workload characteristics row (the shape of Table 2)."""
+        snapshots = list(self.snapshots())
+        return {
+            "name": self.name,
+            "snapshots": len(snapshots),
+            "files": sum(snapshot.file_count for snapshot in snapshots),
+            "logical_bytes": sum(snapshot.logical_bytes for snapshot in snapshots),
+            "has_file_metadata": self.has_file_metadata,
+        }
+
+
+class ContentWorkload(Workload):
+    """A workload whose files carry payload bytes."""
+
+    has_file_metadata = True
+
+
+class TraceWorkload(Workload):
+    """A workload whose files carry pre-chunked fingerprint records only."""
+
+    has_file_metadata = False

@@ -1,0 +1,58 @@
+"""Test helpers shared across test modules (imported explicitly, not a fixture)."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence
+
+from repro.chunking.base import RawChunk
+from repro.core.superchunk import SuperChunk
+from repro.fingerprint.fingerprinter import ChunkRecord, Fingerprinter
+from repro.workloads.trace import TraceChunk, TraceFile, TraceSnapshot
+
+
+def deterministic_bytes(length: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random bytes."""
+    return random.Random(seed).randbytes(length)
+
+
+def fingerprint_of(data: bytes) -> bytes:
+    return hashlib.sha1(data).digest()
+
+
+def synthetic_fingerprint(tag: str) -> bytes:
+    """A stable 20-byte fingerprint derived from a string tag."""
+    return hashlib.sha1(tag.encode()).digest()
+
+
+def chunk_records_from_seeds(seeds: Sequence[int], length: int = 512) -> List[ChunkRecord]:
+    """Chunk records whose payloads are derived from integer seeds."""
+    fingerprinter = Fingerprinter("sha1")
+    records = []
+    for seed in seeds:
+        data = deterministic_bytes(length, seed=seed)
+        records.append(fingerprinter.fingerprint_chunk(RawChunk(data=data, offset=0)))
+    return records
+
+
+def superchunk_from_seeds(
+    seeds: Sequence[int], handprint_size: int = 8, length: int = 512, stream_id: int = 0
+) -> SuperChunk:
+    """A super-chunk whose chunk payloads are derived from integer seeds."""
+    records = chunk_records_from_seeds(seeds, length=length)
+    return SuperChunk.from_chunks(records, handprint_size=handprint_size, stream_id=stream_id)
+
+
+def trace_snapshot_from_tags(
+    label: str, files: dict, chunk_length: int = 4096, has_file_metadata: bool = True
+) -> TraceSnapshot:
+    """Build a trace snapshot from ``{path: [tag, tag, ...]}`` fingerprint tags."""
+    trace_files = []
+    for path, tags in files.items():
+        chunks = [
+            TraceChunk(fingerprint=synthetic_fingerprint(str(tag)), length=chunk_length)
+            for tag in tags
+        ]
+        trace_files.append(TraceFile(path=path, chunks=chunks))
+    return TraceSnapshot(label=label, files=trace_files, has_file_metadata=has_file_metadata)

@@ -1,0 +1,80 @@
+"""Tests for repro.chunking.cdc (content-defined chunking)."""
+
+import pytest
+
+from repro.chunking.cdc import ContentDefinedChunker
+from tests.helpers import deterministic_bytes
+
+
+class TestContentDefinedChunker:
+    def test_roundtrip(self):
+        data = deterministic_bytes(50_000, seed=1)
+        ContentDefinedChunker(average_size=1024).validate_roundtrip(data)
+
+    def test_empty_input(self):
+        assert ContentDefinedChunker(average_size=1024).chunk_all(b"") == []
+
+    def test_chunk_size_bounds(self):
+        chunker = ContentDefinedChunker(average_size=1024, min_size=256, max_size=4096)
+        data = deterministic_bytes(100_000, seed=2)
+        chunks = chunker.chunk_all(data)
+        # Every chunk except the last respects min and max bounds.
+        for chunk in chunks[:-1]:
+            assert 256 <= chunk.length <= 4096
+        assert chunks[-1].length <= 4096
+
+    def test_average_size_roughly_respected(self):
+        chunker = ContentDefinedChunker(average_size=1024)
+        data = deterministic_bytes(200_000, seed=3)
+        chunks = chunker.chunk_all(data)
+        observed_average = len(data) / len(chunks)
+        # Random data should land within a factor of ~3 of the target average.
+        assert 1024 / 3 < observed_average < 1024 * 3
+
+    def test_shift_resilience(self):
+        # CDC's whole point: a one-byte insertion near the front only disturbs
+        # chunk boundaries locally, so most chunks survive unchanged.
+        data = deterministic_bytes(100_000, seed=4)
+        shifted = b"X" + data
+        chunker = ContentDefinedChunker(average_size=1024)
+        original = {c.data for c in chunker.chunk(data)}
+        shifted_chunks = {c.data for c in chunker.chunk(shifted)}
+        shared = len(original & shifted_chunks)
+        assert shared >= len(original) * 0.5
+
+    def test_deterministic(self):
+        data = deterministic_bytes(30_000, seed=5)
+        chunker = ContentDefinedChunker(average_size=2048)
+        first = [c.data for c in chunker.chunk(data)]
+        second = [c.data for c in chunker.chunk(data)]
+        assert first == second
+
+    def test_offsets_are_consistent(self):
+        data = deterministic_bytes(20_000, seed=6)
+        chunks = ContentDefinedChunker(average_size=1024).chunk_all(data)
+        position = 0
+        for chunk in chunks:
+            assert chunk.offset == position
+            position += chunk.length
+        assert position == len(data)
+
+    def test_invalid_average_size(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(average_size=16)
+
+    def test_invalid_min_max(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(average_size=1024, min_size=4096, max_size=1024)
+
+    def test_default_min_max_derived_from_average(self):
+        chunker = ContentDefinedChunker(average_size=4096)
+        assert chunker.min_size == 1024
+        assert chunker.max_size == 16384
+
+    def test_max_size_forces_boundary_on_degenerate_data(self):
+        # Constant data never triggers a hash boundary, so only the max-size
+        # rule cuts chunks.
+        chunker = ContentDefinedChunker(average_size=1024, min_size=256, max_size=2048)
+        chunks = chunker.chunk_all(b"\x00" * 10_000)
+        for chunk in chunks[:-1]:
+            assert chunk.length == 2048

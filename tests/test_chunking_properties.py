@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the chunking substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.fixed import StaticChunker
+from repro.chunking.tttd import TTTDChunker
+
+binary_data = st.binary(min_size=0, max_size=20_000)
+
+
+class TestStaticChunkerProperties:
+    @given(data=binary_data, chunk_size=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, data, chunk_size):
+        chunks = StaticChunker(chunk_size).chunk_all(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    @given(data=binary_data, chunk_size=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=50, deadline=None)
+    def test_all_chunks_within_size(self, data, chunk_size):
+        for chunk in StaticChunker(chunk_size).chunk(data):
+            assert 1 <= chunk.length <= chunk_size
+
+    @given(data=binary_data, chunk_size=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=50, deadline=None)
+    def test_chunk_count(self, data, chunk_size):
+        chunks = StaticChunker(chunk_size).chunk_all(data)
+        expected = (len(data) + chunk_size - 1) // chunk_size
+        assert len(chunks) == expected
+
+
+class TestCDCProperties:
+    @given(data=binary_data)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, data):
+        chunker = ContentDefinedChunker(average_size=512, min_size=64, max_size=2048)
+        chunks = chunker.chunk_all(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    @given(data=binary_data)
+    @settings(max_examples=30, deadline=None)
+    def test_offsets_partition_the_stream(self, data):
+        chunker = ContentDefinedChunker(average_size=512, min_size=64, max_size=2048)
+        position = 0
+        for chunk in chunker.chunk(data):
+            assert chunk.offset == position
+            position += chunk.length
+        assert position == len(data)
+
+    @given(data=st.binary(min_size=1, max_size=20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_max_size_respected(self, data):
+        chunker = ContentDefinedChunker(average_size=512, min_size=64, max_size=2048)
+        for chunk in chunker.chunk(data):
+            assert chunk.length <= 2048
+
+
+class TestTTTDProperties:
+    @given(data=binary_data)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, data):
+        chunker = TTTDChunker(min_size=64, backup_mean=128, main_mean=256, max_size=1024)
+        chunks = chunker.chunk_all(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    @given(data=st.binary(min_size=1, max_size=20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_size_bounds(self, data):
+        chunker = TTTDChunker(min_size=64, backup_mean=128, main_mean=256, max_size=1024)
+        chunks = chunker.chunk_all(data)
+        for chunk in chunks[:-1]:
+            assert chunk.length <= 1024
+        if chunks:
+            assert chunks[-1].length <= 1024
+
+    @given(data=binary_data)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, data):
+        chunker = TTTDChunker(min_size=64, backup_mean=128, main_mean=256, max_size=1024)
+        assert [c.data for c in chunker.chunk(data)] == [c.data for c in chunker.chunk(data)]

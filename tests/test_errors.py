@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_storage_errors_subclass_storage_error(self):
+        assert issubclass(errors.ContainerFullError, errors.StorageError)
+        assert issubclass(errors.ContainerNotFoundError, errors.StorageError)
+        assert issubclass(errors.ChunkNotFoundError, errors.StorageError)
+
+    def test_cluster_errors(self):
+        assert issubclass(errors.NodeNotFoundError, errors.ClusterError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.RoutingError("no nodes")
+
+    def test_messages_preserved(self):
+        try:
+            raise errors.WorkloadError("bad parameter")
+        except errors.ReproError as exc:
+            assert "bad parameter" in str(exc)

@@ -1,0 +1,83 @@
+"""Tests for repro.fingerprint.fingerprinter."""
+
+import hashlib
+
+import pytest
+
+from repro.chunking.base import RawChunk
+from repro.chunking.fixed import StaticChunker
+from repro.errors import FingerprintError
+from repro.fingerprint.fingerprinter import ChunkRecord, Fingerprinter
+from tests.helpers import deterministic_bytes
+
+
+class TestFingerprinter:
+    def test_sha1_fingerprint_matches_hashlib(self):
+        chunk = RawChunk(data=b"hello chunk", offset=0)
+        record = Fingerprinter("sha1").fingerprint_chunk(chunk)
+        assert record.fingerprint == hashlib.sha1(b"hello chunk").digest()
+
+    def test_md5_fingerprint_matches_hashlib(self):
+        chunk = RawChunk(data=b"hello chunk", offset=0)
+        record = Fingerprinter("md5").fingerprint_chunk(chunk)
+        assert record.fingerprint == hashlib.md5(b"hello chunk").digest()
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(FingerprintError):
+            Fingerprinter("adler32")
+
+    def test_record_carries_length_offset_and_data(self):
+        chunk = RawChunk(data=b"abcdef", offset=42)
+        record = Fingerprinter().fingerprint_chunk(chunk)
+        assert record.length == 6
+        assert record.offset == 42
+        assert record.data == b"abcdef"
+
+    def test_keep_data_false_drops_payload(self):
+        chunk = RawChunk(data=b"abcdef", offset=0)
+        record = Fingerprinter().fingerprint_chunk(chunk, keep_data=False)
+        assert record.data is None
+        assert record.length == 6
+
+    def test_statistics_counters(self):
+        fingerprinter = Fingerprinter()
+        fingerprinter.fingerprint_chunk(RawChunk(data=b"aaaa", offset=0))
+        fingerprinter.fingerprint_chunk(RawChunk(data=b"bb", offset=4))
+        assert fingerprinter.chunks_fingerprinted == 2
+        assert fingerprinter.bytes_fingerprinted == 6
+
+    def test_fingerprint_stream(self):
+        data = deterministic_bytes(10_000, seed=1)
+        records = Fingerprinter().fingerprint_stream(data, StaticChunker(1024))
+        assert len(records) == 10
+        assert b"".join(record.data for record in records) == data
+
+    def test_identical_chunks_have_identical_fingerprints(self):
+        data = deterministic_bytes(1024, seed=2)
+        a = Fingerprinter().fingerprint_chunk(RawChunk(data=data, offset=0))
+        b = Fingerprinter().fingerprint_chunk(RawChunk(data=data, offset=9999))
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_chunks_have_different_fingerprints(self):
+        a = Fingerprinter().fingerprint_chunk(RawChunk(data=b"one", offset=0))
+        b = Fingerprinter().fingerprint_chunk(RawChunk(data=b"two", offset=0))
+        assert a.fingerprint != b.fingerprint
+
+
+class TestChunkRecord:
+    def test_hex_property(self):
+        record = ChunkRecord(fingerprint=b"\xde\xad\xbe\xef", length=4)
+        assert record.hex == "deadbeef"
+
+    def test_without_data(self):
+        record = ChunkRecord(fingerprint=b"\x01", length=10, offset=5, data=b"x" * 10)
+        stripped = record.without_data()
+        assert stripped.data is None
+        assert stripped.fingerprint == record.fingerprint
+        assert stripped.length == 10
+        assert stripped.offset == 5
+
+    def test_frozen(self):
+        record = ChunkRecord(fingerprint=b"\x01", length=1)
+        with pytest.raises(AttributeError):
+            record.length = 2

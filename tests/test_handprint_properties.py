@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for handprinting and resemblance."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fingerprint.handprint import (
+    compute_handprint,
+    estimate_resemblance,
+    jaccard_resemblance,
+    probability_handprints_intersect,
+)
+
+
+def tags_to_fingerprints(tags):
+    return [hashlib.sha1(str(tag).encode()).digest() for tag in tags]
+
+
+tag_sets = st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300)
+handprint_sizes = st.integers(min_value=1, max_value=64)
+
+
+class TestHandprintProperties:
+    @given(tags=tag_sets, k=handprint_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_handprint_size_bounded(self, tags, k):
+        handprint = compute_handprint(tags_to_fingerprints(tags), k)
+        assert handprint.size == min(k, len(tags))
+
+    @given(tags=tag_sets, k=handprint_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_handprint_is_subset_of_input(self, tags, k):
+        fps = tags_to_fingerprints(tags)
+        handprint = compute_handprint(fps, k)
+        assert set(handprint.representative_fingerprints) <= set(fps)
+
+    @given(tags=tag_sets, k=handprint_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_handprint_contains_minimum(self, tags, k):
+        fps = tags_to_fingerprints(tags)
+        handprint = compute_handprint(fps, k)
+        assert handprint.champion == min(fps, key=lambda fp: int.from_bytes(fp, "big"))
+
+    @given(tags_a=tag_sets, tags_b=tag_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_jaccard_symmetric_and_bounded(self, tags_a, tags_b):
+        a = tags_to_fingerprints(tags_a)
+        b = tags_to_fingerprints(tags_b)
+        r_ab = jaccard_resemblance(a, b)
+        r_ba = jaccard_resemblance(b, a)
+        assert r_ab == r_ba
+        assert 0.0 <= r_ab <= 1.0
+
+    @given(tags=tag_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_jaccard_identity(self, tags):
+        fps = tags_to_fingerprints(tags)
+        assert jaccard_resemblance(fps, fps) == 1.0
+
+    @given(tags_a=tag_sets, tags_b=tag_sets, k=handprint_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_estimate_bounded(self, tags_a, tags_b, k):
+        a = compute_handprint(tags_to_fingerprints(tags_a), k)
+        b = compute_handprint(tags_to_fingerprints(tags_b), k)
+        assert 0.0 <= estimate_resemblance(a, b) <= 1.0
+
+    @given(tags_a=tag_sets, tags_b=tag_sets, k=handprint_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_disjoint_sets_estimate_zero(self, tags_a, tags_b, k):
+        # Make the sets disjoint by prefixing the tags differently.
+        a = compute_handprint(tags_to_fingerprints([f"a-{t}" for t in tags_a]), k)
+        b = compute_handprint(tags_to_fingerprints([f"b-{t}" for t in tags_b]), k)
+        assert estimate_resemblance(a, b) == 0.0
+
+    @given(
+        resemblance=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_broder_bound_properties(self, resemblance, k):
+        p = probability_handprints_intersect(resemblance, k)
+        assert 0.0 <= p <= 1.0
+        assert p >= resemblance - 1e-9
+
+    @given(tags_a=tag_sets, tags_b=tag_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_shared_fingerprint_implies_positive_jaccard(self, tags_a, tags_b):
+        shared = tags_a & tags_b
+        a = tags_to_fingerprints(tags_a)
+        b = tags_to_fingerprints(tags_b)
+        if shared:
+            assert jaccard_resemblance(a, b) > 0.0
+        else:
+            assert jaccard_resemblance(a, b) == 0.0

@@ -1,0 +1,125 @@
+"""Cross-module integration tests: full cluster behaviour over multi-generation workloads.
+
+These tests exercise the same code paths the benchmarks use, at a scale small
+enough for the unit-test suite, and assert the qualitative behaviours the
+paper's design arguments predict (Theorem 2 load balance, information-island
+degradation, source-dedup bandwidth savings, multi-client recipe isolation).
+"""
+
+import pytest
+
+from repro import SigmaDedupe
+from repro.chunking.fixed import StaticChunker
+from repro.cluster.client import BackupClient
+from repro.cluster.cluster import DedupeCluster
+from repro.cluster.director import Director
+from repro.cluster.restore import RestoreManager
+from repro.core.partitioner import PartitionerConfig
+from repro.metrics.skew import storage_skew
+from repro.simulation.comparison import run_scheme
+from repro.workloads.mail import MailWorkload
+from repro.workloads.trace import materialize_workload
+from repro.workloads.versioned_source import VersionedSourceWorkload
+
+
+@pytest.fixture(scope="module")
+def linux_snapshots():
+    workload = VersionedSourceWorkload(num_versions=5, files_per_version=60, mean_file_size=4096)
+    return materialize_workload(workload, chunker=StaticChunker(1024))
+
+
+class TestLoadBalance:
+    def test_sigma_routing_spreads_capacity(self, linux_snapshots):
+        # Theorem 2: handprint-derived candidates plus local balancing keep
+        # global capacity usage balanced when units greatly outnumber nodes.
+        result = run_scheme(linux_snapshots, "sigma", 4, superchunk_size=16 * 1024)
+        skew = storage_skew(result.node_physical_bytes)
+        assert all(usage > 0 for usage in result.node_physical_bytes)
+        assert skew.coefficient_of_variation < 0.8
+
+    def test_sigma_balance_not_much_worse_than_stateless(self, linux_snapshots):
+        sigma = run_scheme(linux_snapshots, "sigma", 4, superchunk_size=16 * 1024)
+        stateless = run_scheme(linux_snapshots, "stateless", 4, superchunk_size=16 * 1024)
+        assert (
+            sigma.skew.coefficient_of_variation
+            <= stateless.skew.coefficient_of_variation + 0.5
+        )
+
+
+class TestInformationIsland:
+    def test_dedup_loss_grows_with_cluster_size(self, linux_snapshots):
+        results = [
+            run_scheme(linux_snapshots, "stateless", n, superchunk_size=16 * 1024)
+            for n in (1, 4, 16)
+        ]
+        ratios = [r.cluster_deduplication_ratio for r in results]
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_sigma_retains_more_dedup_than_stateless_at_scale(self, linux_snapshots):
+        sigma = run_scheme(linux_snapshots, "sigma", 16, superchunk_size=16 * 1024)
+        stateless = run_scheme(linux_snapshots, "stateless", 16, superchunk_size=16 * 1024)
+        assert sigma.cluster_deduplication_ratio >= stateless.cluster_deduplication_ratio
+
+
+class TestMultiGenerationBackup:
+    def test_bandwidth_savings_grow_across_generations(self):
+        workload = VersionedSourceWorkload(num_versions=3, files_per_version=30, mean_file_size=4096)
+        framework = SigmaDedupe(
+            num_nodes=4, chunker=StaticChunker(1024), superchunk_size=16 * 1024, handprint_size=8
+        )
+        transferred = []
+        for snapshot in workload.snapshots():
+            files = [(f.path, f.data) for f in snapshot.files]
+            report = framework.backup(files, session_label=snapshot.label)
+            transferred.append(report.transferred_bytes / report.logical_bytes)
+        # The first backup transfers everything; later ones transfer much less.
+        assert transferred[0] > 0.95
+        assert transferred[-1] < 0.6
+
+    def test_every_generation_remains_restorable(self):
+        workload = VersionedSourceWorkload(num_versions=3, files_per_version=15, mean_file_size=4096)
+        framework = SigmaDedupe(
+            num_nodes=3, chunker=StaticChunker(1024), superchunk_size=16 * 1024, handprint_size=8
+        )
+        originals = {}
+        for snapshot in workload.snapshots():
+            files = [(f.path, f.data) for f in snapshot.files]
+            report = framework.backup(files, session_label=snapshot.label)
+            originals[report.session_id] = dict(files)
+        for session_id, files in originals.items():
+            restored = dict(framework.restore_session(session_id))
+            assert restored == files
+
+
+class TestMultipleClients:
+    def test_clients_share_dedup_but_not_recipes(self):
+        cluster = DedupeCluster(num_nodes=2)
+        director = Director()
+        config = PartitionerConfig(
+            chunker=StaticChunker(512), superchunk_size=4096, handprint_size=4
+        )
+        alpha = BackupClient("alpha", cluster, director, partitioner_config=config)
+        beta = BackupClient("beta", cluster, director, partitioner_config=config)
+        restore = RestoreManager(cluster, director)
+
+        shared_payload = b"shared-content" * 1000
+        report_a = alpha.backup_files([("a.bin", shared_payload)])
+        report_b = beta.backup_files([("b.bin", shared_payload)])
+
+        # Cross-client redundancy is eliminated cluster-wide.
+        assert cluster.cluster_deduplication_ratio > 1.8
+        # Each client's session restores its own file.
+        assert restore.restore_file(report_a.session_id, "a.bin") == shared_payload
+        assert restore.restore_file(report_b.session_id, "b.bin") == shared_payload
+        # Sessions are attributed to the right client.
+        assert director.get_session(report_a.session_id).client_id == "alpha"
+        assert director.get_session(report_b.session_id).client_id == "beta"
+
+
+class TestTraceWorkloadIntegration:
+    def test_mail_trace_runs_through_all_superchunk_schemes(self):
+        snapshots = materialize_workload(MailWorkload(num_days=3, chunks_per_day=2000))
+        for scheme in ("sigma", "stateful", "stateless", "chunk_dht"):
+            result = run_scheme(snapshots, scheme, 8, superchunk_size=64 * 4096)
+            assert result.physical_bytes <= result.logical_bytes
+            assert result.normalized_effective_deduplication_ratio > 0

@@ -1,0 +1,97 @@
+"""Tests for repro.metrics.dedup."""
+
+import pytest
+
+from repro.metrics.dedup import (
+    deduplication_efficiency,
+    deduplication_ratio,
+    effective_deduplication_ratio,
+    normalized_deduplication_ratio,
+    normalized_effective_deduplication_ratio,
+)
+
+
+class TestDeduplicationRatio:
+    def test_simple(self):
+        assert deduplication_ratio(1000, 100) == 10.0
+
+    def test_no_redundancy(self):
+        assert deduplication_ratio(500, 500) == 1.0
+
+    def test_empty_dataset(self):
+        assert deduplication_ratio(0, 0) == 1.0
+
+    def test_zero_physical_nonzero_logical(self):
+        assert deduplication_ratio(100, 0) == float("inf")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            deduplication_ratio(-1, 10)
+
+
+class TestDeduplicationEfficiency:
+    def test_bytes_saved_per_second(self):
+        # Eq. 6: (L - P) / T
+        assert deduplication_efficiency(1000, 400, 2.0) == 300.0
+
+    def test_equivalent_formulation(self):
+        # DE == (1 - 1/DR) * DT
+        logical, physical, seconds = 10_000, 2_500, 4.0
+        de = deduplication_efficiency(logical, physical, seconds)
+        dr = deduplication_ratio(logical, physical)
+        dt = logical / seconds
+        assert de == pytest.approx((1 - 1 / dr) * dt)
+
+    def test_zero_time_raises(self):
+        with pytest.raises(ValueError):
+            deduplication_efficiency(10, 5, 0.0)
+
+    def test_no_savings_is_zero(self):
+        assert deduplication_efficiency(100, 100, 1.0) == 0.0
+
+
+class TestNormalizedDeduplicationRatio:
+    def test_equal_to_single_node_is_one(self):
+        assert normalized_deduplication_ratio(8.0, 8.0) == 1.0
+
+    def test_half(self):
+        assert normalized_deduplication_ratio(4.0, 8.0) == 0.5
+
+    def test_invalid_single_node(self):
+        with pytest.raises(ValueError):
+            normalized_deduplication_ratio(4.0, 0.0)
+
+
+class TestEffectiveDeduplicationRatio:
+    def test_balanced_cluster_keeps_full_ratio(self):
+        assert effective_deduplication_ratio(6.0, [100, 100, 100, 100]) == pytest.approx(6.0)
+
+    def test_imbalance_penalises(self):
+        balanced = effective_deduplication_ratio(6.0, [100, 100, 100, 100])
+        skewed = effective_deduplication_ratio(6.0, [400, 0, 0, 0])
+        assert skewed < balanced
+
+    def test_empty_usage_list(self):
+        assert effective_deduplication_ratio(3.0, []) == 3.0
+
+    def test_formula(self):
+        usages = [2, 4, 4, 4, 5, 5, 7, 9]  # mean 5, stddev 2
+        assert effective_deduplication_ratio(10.0, usages) == pytest.approx(10.0 * 5 / 7)
+
+
+class TestNEDR:
+    def test_perfect_cluster(self):
+        assert normalized_effective_deduplication_ratio(8.0, 8.0, [50, 50]) == pytest.approx(1.0)
+
+    def test_eq7_composition(self):
+        usages = [2, 4, 4, 4, 5, 5, 7, 9]
+        value = normalized_effective_deduplication_ratio(6.0, 8.0, usages)
+        assert value == pytest.approx((6.0 / 8.0) * (5 / 7))
+
+    def test_bounded_by_normalized_ratio(self):
+        usages = [10, 0, 0, 30]
+        nedr = normalized_effective_deduplication_ratio(4.0, 8.0, usages)
+        assert nedr <= normalized_deduplication_ratio(4.0, 8.0)
+
+    def test_zero_usage_cluster(self):
+        assert normalized_effective_deduplication_ratio(1.0, 1.0, [0, 0]) == 1.0

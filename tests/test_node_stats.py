@@ -1,0 +1,63 @@
+"""Tests for repro.node.stats."""
+
+import pytest
+
+from repro.node.stats import NodeStats
+
+
+class TestDerivedMetrics:
+    def test_deduplication_ratio(self):
+        stats = NodeStats(logical_bytes=1000, physical_bytes=250)
+        assert stats.deduplication_ratio == 4.0
+
+    def test_deduplication_ratio_empty(self):
+        assert NodeStats().deduplication_ratio == 1.0
+
+    def test_deduplication_ratio_all_duplicate(self):
+        stats = NodeStats(logical_bytes=100, physical_bytes=0)
+        assert stats.deduplication_ratio == float("inf")
+
+    def test_total_chunks(self):
+        stats = NodeStats(duplicate_chunks=3, unique_chunks=7)
+        assert stats.total_chunks == 10
+
+    def test_duplicate_chunk_ratio(self):
+        stats = NodeStats(duplicate_chunks=3, unique_chunks=7)
+        assert stats.duplicate_chunk_ratio == pytest.approx(0.3)
+
+    def test_duplicate_chunk_ratio_empty(self):
+        assert NodeStats().duplicate_chunk_ratio == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a = NodeStats(logical_bytes=100, physical_bytes=50, unique_chunks=2, duplicate_chunks=1)
+        b = NodeStats(logical_bytes=200, physical_bytes=70, unique_chunks=3, duplicate_chunks=4)
+        merged = a.merge(b)
+        assert merged.logical_bytes == 300
+        assert merged.physical_bytes == 120
+        assert merged.unique_chunks == 5
+        assert merged.duplicate_chunks == 5
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = NodeStats(logical_bytes=100)
+        b = NodeStats(logical_bytes=50)
+        a.merge(b)
+        assert a.logical_bytes == 100
+        assert b.logical_bytes == 50
+
+    def test_merge_extra_dict(self):
+        a = NodeStats(extra={"x": 1.0})
+        b = NodeStats(extra={"x": 2.0, "y": 5.0})
+        merged = a.merge(b)
+        assert merged.extra == {"x": 3.0, "y": 5.0}
+
+
+class TestAsDict:
+    def test_contains_key_counters(self):
+        stats = NodeStats(logical_bytes=10, physical_bytes=5, cache_hits=2)
+        row = stats.as_dict()
+        assert row["logical_bytes"] == 10
+        assert row["physical_bytes"] == 5
+        assert row["cache_hits"] == 2
+        assert row["deduplication_ratio"] == 2.0

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for end-to-end deduplication invariants."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.fixed import StaticChunker
+from repro.core.partitioner import PartitionerConfig
+from repro.core.superchunk import SuperChunk
+from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.node.dedupe_node import DedupeNode
+from repro.routing.sigma import SigmaRouting
+from repro.routing.stateless import StatelessRouting
+from repro.simulation.simulator import ClusterSimulator
+from repro.workloads.trace import TraceChunk, TraceFile, TraceSnapshot
+from repro import SigmaDedupe
+
+
+def tags_to_trace_chunks(tags, length=1024):
+    return [
+        TraceChunk(fingerprint=hashlib.sha1(str(tag).encode()).digest(), length=length)
+        for tag in tags
+    ]
+
+
+def tags_to_records(tags, length=64):
+    records = []
+    for tag in tags:
+        data = hashlib.sha256(str(tag).encode()).digest() * (length // 32)
+        records.append(
+            ChunkRecord(fingerprint=hashlib.sha1(data).digest(), length=len(data), data=data)
+        )
+    return records
+
+
+tag_lists = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200)
+
+
+class TestNodeInvariants:
+    @given(tags=tag_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_physical_equals_unique_bytes(self, tags):
+        node = DedupeNode(0)
+        records = tags_to_records(tags)
+        superchunk = SuperChunk.from_chunks(records, handprint_size=8)
+        node.backup_superchunk(superchunk)
+        unique_bytes = sum(
+            {record.fingerprint: record.length for record in records}.values()
+        )
+        assert node.stats.physical_bytes == unique_bytes
+        assert node.stats.logical_bytes == sum(record.length for record in records)
+
+    @given(tags=tag_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_second_identical_superchunk_adds_nothing(self, tags):
+        node = DedupeNode(0)
+        superchunk = SuperChunk.from_chunks(tags_to_records(tags), handprint_size=8)
+        node.backup_superchunk(superchunk)
+        before = node.stats.physical_bytes
+        node.backup_superchunk(SuperChunk.from_chunks(tags_to_records(tags), handprint_size=8))
+        assert node.stats.physical_bytes == before
+
+
+class TestSimulatorInvariants:
+    @given(
+        tags_by_file=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=100),
+            min_size=1,
+            max_size=3,
+        ),
+        num_nodes=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cluster_physical_bounds(self, tags_by_file, num_nodes):
+        files = [
+            TraceFile(path=path, chunks=tags_to_trace_chunks(tags))
+            for path, tags in tags_by_file.items()
+        ]
+        snapshot = TraceSnapshot(label="s", files=files)
+        all_chunks = snapshot.all_chunks()
+        logical = sum(chunk.length for chunk in all_chunks)
+        unique = len({chunk.fingerprint for chunk in all_chunks}) * 1024
+
+        for scheme in (StatelessRouting(), SigmaRouting()):
+            result = ClusterSimulator(num_nodes, scheme, superchunk_size=8 * 1024).run([snapshot])
+            assert result.logical_bytes == logical
+            assert unique <= result.physical_bytes <= logical
+            assert sum(result.node_physical_bytes) == result.physical_bytes
+
+    @given(num_nodes=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_single_snapshot_replayed_twice_halves_physical(self, num_nodes):
+        files = [TraceFile(path="f", chunks=tags_to_trace_chunks(range(64)))]
+        snapshot = TraceSnapshot(label="s", files=files)
+        result = ClusterSimulator(num_nodes, SigmaRouting(), superchunk_size=16 * 1024).run(
+            [snapshot, snapshot]
+        )
+        assert result.cluster_deduplication_ratio >= 1.99
+
+
+class TestFrameworkRoundtripProperty:
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=5000), min_size=1, max_size=4),
+        num_nodes=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_backup_restore_roundtrip(self, payloads, num_nodes):
+        framework = SigmaDedupe(
+            num_nodes=num_nodes,
+            chunker=StaticChunker(256),
+            superchunk_size=1024,
+            handprint_size=4,
+        )
+        files = [(f"file-{i}", payload) for i, payload in enumerate(payloads)]
+        report = framework.backup(files)
+        for path, payload in files:
+            assert framework.restore(report.session_id, path) == payload

@@ -1,0 +1,54 @@
+"""Tests for the routing-scheme registry and shared scheme metadata."""
+
+import pytest
+
+from repro.routing import ALL_SCHEMES
+from repro.routing.base import RoutingScheme
+
+
+class TestRegistry:
+    def test_contains_all_paper_schemes(self):
+        assert set(ALL_SCHEMES) == {
+            "sigma",
+            "stateless",
+            "stateful",
+            "extreme_binning",
+            "chunk_dht",
+        }
+
+    def test_names_match_keys(self):
+        for key, scheme_class in ALL_SCHEMES.items():
+            assert scheme_class().name == key
+
+    def test_all_are_routing_schemes(self):
+        for scheme_class in ALL_SCHEMES.values():
+            assert issubclass(scheme_class, RoutingScheme)
+
+    def test_granularities(self):
+        assert ALL_SCHEMES["sigma"]().granularity == "superchunk"
+        assert ALL_SCHEMES["stateless"]().granularity == "superchunk"
+        assert ALL_SCHEMES["stateful"]().granularity == "superchunk"
+        assert ALL_SCHEMES["extreme_binning"]().granularity == "file"
+        assert ALL_SCHEMES["chunk_dht"]().granularity == "chunk"
+
+    def test_statefulness_flags(self):
+        assert ALL_SCHEMES["sigma"]().is_stateful
+        assert ALL_SCHEMES["stateful"]().is_stateful
+        assert not ALL_SCHEMES["stateless"]().is_stateful
+        assert not ALL_SCHEMES["extreme_binning"]().is_stateful
+        assert not ALL_SCHEMES["chunk_dht"]().is_stateful
+
+    def test_file_metadata_requirements(self):
+        requiring = {
+            name for name, cls in ALL_SCHEMES.items() if cls().requires_file_metadata
+        }
+        assert requiring == {"extreme_binning"}
+
+    def test_intra_node_dedup_modes(self):
+        assert ALL_SCHEMES["extreme_binning"]().intra_node_dedup == "bin"
+        for name in ("sigma", "stateless", "stateful", "chunk_dht"):
+            assert ALL_SCHEMES[name]().intra_node_dedup == "exact"
+
+    def test_base_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            RoutingScheme()

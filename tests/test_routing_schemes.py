@@ -1,0 +1,242 @@
+"""Tests for the routing schemes against a scripted fake cluster view."""
+
+from typing import Dict, Sequence
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.base import ClusterView, RoutingDecision
+from repro.routing.chunk_dht import ChunkDHTRouting
+from repro.routing.extreme_binning import ExtremeBinningRouting
+from repro.routing.sigma import SigmaRouting
+from repro.routing.stateful import StatefulRouting
+from repro.routing.stateless import StatelessRouting
+from repro.utils.hashing import fingerprint_mod
+from tests.helpers import superchunk_from_seeds
+
+
+class FakeCluster(ClusterView):
+    """A scripted cluster view for routing unit tests."""
+
+    def __init__(self, num_nodes: int, usages=None, similarity=None, chunks=None):
+        self._num_nodes = num_nodes
+        self._usages = usages or {}
+        # node_id -> set of representative fingerprints "stored" there
+        self._similarity: Dict[int, set] = similarity or {}
+        # node_id -> set of chunk fingerprints "stored" there
+        self._chunks: Dict[int, set] = chunks or {}
+        self.resemblance_queries = []
+        self.sample_queries = []
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def node_storage_usage(self, node_id: int) -> int:
+        return self._usages.get(node_id, 0)
+
+    def resemblance_query(self, node_id: int, handprint) -> int:
+        self.resemblance_queries.append(node_id)
+        stored = self._similarity.get(node_id, set())
+        return sum(1 for fp in handprint if fp in stored)
+
+    def sample_match_count(self, node_id: int, fingerprints: Sequence[bytes]) -> int:
+        self.sample_queries.append(node_id)
+        stored = self._chunks.get(node_id, set())
+        return sum(1 for fp in fingerprints if fp in stored)
+
+
+class TestStatelessRouting:
+    def test_target_is_champion_mod_n(self):
+        superchunk = superchunk_from_seeds(range(10))
+        cluster = FakeCluster(num_nodes=7)
+        decision = StatelessRouting().route(superchunk, cluster)
+        assert decision.target_node == fingerprint_mod(superchunk.handprint.champion, 7)
+
+    def test_no_pre_routing_messages(self):
+        decision = StatelessRouting().route(superchunk_from_seeds(range(5)), FakeCluster(4))
+        assert decision.pre_routing_lookup_messages == 0
+
+    def test_deterministic(self):
+        superchunk = superchunk_from_seeds(range(8))
+        cluster = FakeCluster(16)
+        a = StatelessRouting().route(superchunk, cluster)
+        b = StatelessRouting().route(superchunk, cluster)
+        assert a.target_node == b.target_node
+
+    def test_identical_superchunks_same_node(self):
+        cluster = FakeCluster(32)
+        a = StatelessRouting().route(superchunk_from_seeds(range(20)), cluster)
+        b = StatelessRouting().route(superchunk_from_seeds(range(20)), cluster)
+        assert a.target_node == b.target_node
+
+    def test_single_node_cluster(self):
+        decision = StatelessRouting().route(superchunk_from_seeds(range(5)), FakeCluster(1))
+        assert decision.target_node == 0
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(RoutingError):
+            StatelessRouting().route(superchunk_from_seeds(range(5)), FakeCluster(0))
+
+
+class TestExtremeBinningRouting:
+    def test_routes_by_minimum_fingerprint(self):
+        superchunk = superchunk_from_seeds(range(12))
+        cluster = FakeCluster(num_nodes=9)
+        decision = ExtremeBinningRouting().route(superchunk, cluster)
+        assert decision.target_node == fingerprint_mod(superchunk.handprint.champion, 9)
+
+    def test_declares_file_granularity_and_bin_dedup(self):
+        scheme = ExtremeBinningRouting()
+        assert scheme.granularity == "file"
+        assert scheme.requires_file_metadata is True
+        assert scheme.intra_node_dedup == "bin"
+
+    def test_no_pre_routing_messages(self):
+        decision = ExtremeBinningRouting().route(superchunk_from_seeds(range(5)), FakeCluster(4))
+        assert decision.pre_routing_lookup_messages == 0
+
+
+class TestChunkDHTRouting:
+    def test_chunk_granularity(self):
+        assert ChunkDHTRouting().granularity == "chunk"
+
+    def test_routes_by_fingerprint(self):
+        unit = superchunk_from_seeds([42])  # single-chunk unit
+        cluster = FakeCluster(num_nodes=13)
+        decision = ChunkDHTRouting().route(unit, cluster)
+        assert decision.target_node == fingerprint_mod(unit.handprint.champion, 13)
+
+
+class TestSigmaRouting:
+    def test_candidates_are_handprint_mod_n(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        cluster = FakeCluster(num_nodes=16)
+        decision = SigmaRouting().route(superchunk, cluster)
+        expected = {fingerprint_mod(fp, 16) for fp in superchunk.handprint}
+        assert set(decision.candidate_nodes) == expected
+
+    def test_pre_routing_messages_bounded_by_k_squared(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        decision = SigmaRouting().route(superchunk, FakeCluster(64))
+        assert decision.pre_routing_lookup_messages <= 8 * 8
+
+    def test_prefers_node_with_resemblance(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        cluster16 = FakeCluster(num_nodes=16)
+        candidates = {fingerprint_mod(fp, 16) for fp in superchunk.handprint}
+        resembling = sorted(candidates)[0]
+        cluster = FakeCluster(
+            num_nodes=16,
+            usages={node: 1000 for node in range(16)},
+            similarity={resembling: set(superchunk.handprint.representative_fingerprints)},
+        )
+        decision = SigmaRouting().route(superchunk, cluster)
+        assert decision.target_node == resembling
+
+    def test_no_resemblance_falls_back_to_least_loaded_candidate(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        candidates = sorted({fingerprint_mod(fp, 16) for fp in superchunk.handprint})
+        usages = {node: 1000 for node in range(16)}
+        lightest = candidates[-1]
+        usages[lightest] = 10
+        cluster = FakeCluster(num_nodes=16, usages=usages)
+        decision = SigmaRouting().route(superchunk, cluster)
+        assert decision.target_node == lightest
+
+    def test_load_balance_discount_prefers_less_loaded_on_equal_resemblance(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        candidates = sorted({fingerprint_mod(fp, 16) for fp in superchunk.handprint})
+        assert len(candidates) >= 2
+        full_handprint = set(superchunk.handprint.representative_fingerprints)
+        similarity = {candidates[0]: full_handprint, candidates[1]: full_handprint}
+        usages = {node: 1000 for node in range(16)}
+        usages[candidates[0]] = 100_000  # heavily loaded
+        usages[candidates[1]] = 100
+        cluster = FakeCluster(num_nodes=16, usages=usages, similarity=similarity)
+        decision = SigmaRouting().route(superchunk, cluster)
+        assert decision.target_node == candidates[1]
+
+    def test_disable_load_balance_ignores_usage(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        candidates = sorted({fingerprint_mod(fp, 16) for fp in superchunk.handprint})
+        full_handprint = set(superchunk.handprint.representative_fingerprints)
+        similarity = {candidates[0]: full_handprint}
+        usages = {node: 100 for node in range(16)}
+        usages[candidates[0]] = 10_000_000
+        cluster = FakeCluster(num_nodes=16, usages=usages, similarity=similarity)
+        decision = SigmaRouting(use_load_balance=False).route(superchunk, cluster)
+        assert decision.target_node == candidates[0]
+
+    def test_only_candidates_are_queried(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        cluster = FakeCluster(num_nodes=64)
+        SigmaRouting().route(superchunk, cluster)
+        candidates = {fingerprint_mod(fp, 64) for fp in superchunk.handprint}
+        assert set(cluster.resemblance_queries) <= candidates
+
+    def test_resemblances_align_with_candidates(self):
+        superchunk = superchunk_from_seeds(range(40), handprint_size=8)
+        cluster = FakeCluster(num_nodes=8)
+        decision = SigmaRouting().route(superchunk, cluster)
+        assert len(decision.resemblances) == len(decision.candidate_nodes)
+
+
+class TestStatefulRouting:
+    def test_queries_every_node(self):
+        superchunk = superchunk_from_seeds(range(64), handprint_size=8)
+        cluster = FakeCluster(num_nodes=12)
+        StatefulRouting().route(superchunk, cluster)
+        assert set(cluster.sample_queries) == set(range(12))
+
+    def test_pre_routing_messages_scale_with_cluster_size(self):
+        superchunk = superchunk_from_seeds(range(64), handprint_size=8)
+        small = StatefulRouting().route(superchunk, FakeCluster(4))
+        large = StatefulRouting().route(superchunk, FakeCluster(32))
+        assert large.pre_routing_lookup_messages == 8 * small.pre_routing_lookup_messages
+
+    def test_routes_to_node_with_most_matches(self):
+        superchunk = superchunk_from_seeds(range(64), handprint_size=8)
+        all_fps = set(superchunk.fingerprints)
+        cluster = FakeCluster(
+            num_nodes=4,
+            usages={0: 10, 1: 10, 2: 10, 3: 10},
+            chunks={2: all_fps},
+        )
+        decision = StatefulRouting().route(superchunk, cluster)
+        assert decision.target_node == 2
+
+    def test_no_matches_goes_to_least_loaded(self):
+        superchunk = superchunk_from_seeds(range(64), handprint_size=8)
+        cluster = FakeCluster(num_nodes=4, usages={0: 100, 1: 5, 2: 100, 3: 100})
+        decision = StatefulRouting().route(superchunk, cluster)
+        assert decision.target_node == 1
+
+    def test_tie_broken_by_usage(self):
+        superchunk = superchunk_from_seeds(range(64), handprint_size=8)
+        all_fps = set(superchunk.fingerprints)
+        cluster = FakeCluster(
+            num_nodes=3,
+            usages={0: 500, 1: 50, 2: 500},
+            chunks={0: all_fps, 1: all_fps},
+        )
+        decision = StatefulRouting().route(superchunk, cluster)
+        assert decision.target_node == 1
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            StatefulRouting(sample_rate=0)
+
+    def test_sample_size_is_fraction_of_chunks(self):
+        superchunk = superchunk_from_seeds(range(64), handprint_size=8)
+        scheme = StatefulRouting(sample_rate=32)
+        sample = scheme._sample_fingerprints(superchunk)
+        assert len(sample) == max(1, 64 // 32)
+
+
+class TestRoutingDecision:
+    def test_defaults(self):
+        decision = RoutingDecision(target_node=3)
+        assert decision.pre_routing_lookup_messages == 0
+        assert decision.candidate_nodes == []
+        assert decision.resemblances == []

@@ -1,0 +1,165 @@
+"""Tests for repro.simulation.simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.routing.extreme_binning import ExtremeBinningRouting
+from repro.routing.sigma import SigmaRouting
+from repro.routing.stateless import StatelessRouting
+from repro.simulation.simulator import ClusterSimulator, SimulatedNode
+from repro.workloads.trace import TraceChunk
+from tests.helpers import synthetic_fingerprint, trace_snapshot_from_tags
+
+
+def chunk(tag, length=4096):
+    return TraceChunk(fingerprint=synthetic_fingerprint(str(tag)), length=length)
+
+
+class TestSimulatedNode:
+    def test_backup_unit_exact_dedup(self):
+        node = SimulatedNode(0)
+        node.backup_unit([chunk("a"), chunk("b"), chunk("a")])
+        assert node.logical_bytes == 3 * 4096
+        assert node.physical_bytes == 2 * 4096
+
+    def test_backup_unit_binned_dedup(self):
+        node = SimulatedNode(0)
+        rep_a = synthetic_fingerprint("rep-a")
+        rep_b = synthetic_fingerprint("rep-b")
+        node.backup_unit_binned([chunk("x")], representative=rep_a)
+        # The same chunk arriving under a different bin is stored again.
+        node.backup_unit_binned([chunk("x")], representative=rep_b)
+        assert node.physical_bytes == 2 * 4096
+        # But re-arriving under the same bin is deduplicated.
+        node.backup_unit_binned([chunk("x")], representative=rep_a)
+        assert node.physical_bytes == 2 * 4096
+
+    def test_resemblance_count(self):
+        node = SimulatedNode(0)
+        fps = [synthetic_fingerprint(str(i)) for i in range(4)]
+        node.similarity_fingerprints.update(fps[:2])
+        assert node.resemblance_count(fps) == 2
+
+    def test_sample_match_count(self):
+        node = SimulatedNode(0)
+        node.backup_unit([chunk("a"), chunk("b")])
+        sample = [synthetic_fingerprint("a"), synthetic_fingerprint("z")]
+        assert node.sample_match_count(sample) == 1
+
+
+class TestClusterSimulator:
+    def make_snapshots(self):
+        first = trace_snapshot_from_tags(
+            "gen1",
+            {
+                "file-a": [f"a{i}" for i in range(64)],
+                "file-b": [f"b{i}" for i in range(64)],
+            },
+        )
+        # Second generation repeats generation 1 with a few new chunks.
+        second = trace_snapshot_from_tags(
+            "gen2",
+            {
+                "file-a": [f"a{i}" for i in range(64)],
+                "file-b": [f"b{i}" for i in range(60)] + [f"new{i}" for i in range(4)],
+            },
+        )
+        return [first, second]
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(num_nodes=0, routing_scheme=StatelessRouting())
+
+    def test_single_node_matches_exact_dedup(self):
+        snapshots = self.make_snapshots()
+        simulator = ClusterSimulator(1, StatelessRouting(), superchunk_size=16 * 4096)
+        result = simulator.run(snapshots)
+        unique_chunks = len(
+            {c.fingerprint for snap in snapshots for c in snap.all_chunks()}
+        )
+        assert result.physical_bytes == unique_chunks * 4096
+        assert result.num_nodes == 1
+
+    def test_logical_bytes_independent_of_scheme(self):
+        snapshots = self.make_snapshots()
+        results = [
+            ClusterSimulator(4, scheme, superchunk_size=16 * 4096).run(snapshots)
+            for scheme in (StatelessRouting(), SigmaRouting())
+        ]
+        assert results[0].logical_bytes == results[1].logical_bytes == 256 * 4096
+
+    def test_physical_never_exceeds_logical(self):
+        snapshots = self.make_snapshots()
+        result = ClusterSimulator(4, SigmaRouting(), superchunk_size=16 * 4096).run(snapshots)
+        assert result.physical_bytes <= result.logical_bytes
+
+    def test_physical_at_least_unique(self):
+        snapshots = self.make_snapshots()
+        unique_bytes = (
+            len({c.fingerprint for snap in snapshots for c in snap.all_chunks()}) * 4096
+        )
+        for scheme in (StatelessRouting(), SigmaRouting()):
+            result = ClusterSimulator(8, scheme, superchunk_size=16 * 4096).run(snapshots)
+            assert result.physical_bytes >= unique_bytes
+
+    def test_node_physical_sums_to_total(self):
+        snapshots = self.make_snapshots()
+        result = ClusterSimulator(4, SigmaRouting(), superchunk_size=16 * 4096).run(snapshots)
+        assert sum(result.node_physical_bytes) == result.physical_bytes
+
+    def test_superchunk_partitioning(self):
+        snapshots = self.make_snapshots()
+        simulator = ClusterSimulator(2, StatelessRouting(), superchunk_size=32 * 4096)
+        simulator.run(snapshots)
+        # 128 chunks per snapshot / 32 chunks per super-chunk = 4 units each.
+        assert simulator.units_routed == 8
+
+    def test_file_granularity_uses_files_as_units(self):
+        snapshots = self.make_snapshots()
+        simulator = ClusterSimulator(2, ExtremeBinningRouting(), superchunk_size=32 * 4096)
+        simulator.run(snapshots)
+        assert simulator.units_routed == 4  # 2 files x 2 snapshots
+
+    def test_file_granularity_requires_metadata(self):
+        snapshot = trace_snapshot_from_tags(
+            "trace", {"stream": ["x", "y"]}, has_file_metadata=False
+        )
+        simulator = ClusterSimulator(2, ExtremeBinningRouting())
+        with pytest.raises(SimulationError):
+            simulator.run([snapshot])
+
+    def test_message_accounting(self):
+        snapshots = self.make_snapshots()
+        stateless = ClusterSimulator(4, StatelessRouting(), superchunk_size=16 * 4096).run(snapshots)
+        sigma = ClusterSimulator(4, SigmaRouting(), superchunk_size=16 * 4096).run(snapshots)
+        assert stateless.messages.pre_routing == 0
+        assert stateless.messages.after_routing == 256
+        assert sigma.messages.pre_routing > 0
+        assert sigma.fingerprint_lookup_messages > stateless.fingerprint_lookup_messages
+
+    def test_result_metrics(self):
+        snapshots = self.make_snapshots()
+        result = ClusterSimulator(4, SigmaRouting(), superchunk_size=16 * 4096).run(
+            snapshots, single_node_deduplication_ratio=2.0
+        )
+        assert result.cluster_deduplication_ratio >= 1.0
+        assert 0.0 < result.normalized_deduplication_ratio <= 1.01
+        assert result.normalized_effective_deduplication_ratio <= result.normalized_deduplication_ratio + 1e-9
+        row = result.as_dict()
+        assert row["scheme"] == "sigma"
+        assert "normalized_edr" in row
+
+    def test_result_without_single_node_dr(self):
+        snapshots = self.make_snapshots()
+        result = ClusterSimulator(2, StatelessRouting(), superchunk_size=16 * 4096).run(snapshots)
+        assert result.normalized_deduplication_ratio is None
+        assert result.normalized_effective_deduplication_ratio is None
+
+    def test_identical_snapshots_fully_deduplicated_on_any_cluster(self):
+        snapshot = trace_snapshot_from_tags(
+            "gen", {"f": [f"c{i}" for i in range(128)]}
+        )
+        for scheme in (StatelessRouting(), SigmaRouting()):
+            simulator = ClusterSimulator(4, scheme, superchunk_size=16 * 4096)
+            result = simulator.run([snapshot, snapshot, snapshot])
+            assert result.cluster_deduplication_ratio == pytest.approx(3.0)

@@ -1,0 +1,53 @@
+"""Tests for chunk-granularity (HYDRAstor-style) routing in the simulator."""
+
+import pytest
+
+from repro.routing.chunk_dht import ChunkDHTRouting
+from repro.simulation.simulator import ClusterSimulator
+from repro.workloads.trace import trace_statistics
+from tests.helpers import trace_snapshot_from_tags
+
+
+def make_snapshots():
+    first = trace_snapshot_from_tags("gen1", {"f": [f"c{i}" for i in range(200)]})
+    second = trace_snapshot_from_tags(
+        "gen2", {"f": [f"c{i}" for i in range(150)] + [f"d{i}" for i in range(50)]}
+    )
+    return [first, second]
+
+
+class TestChunkDHTSimulation:
+    def test_one_unit_per_chunk(self):
+        snapshots = make_snapshots()
+        simulator = ClusterSimulator(4, ChunkDHTRouting())
+        simulator.run(snapshots)
+        assert simulator.units_routed == 400
+
+    def test_no_cross_node_redundancy(self):
+        # Chunk-level DHT places identical chunks on the same node by
+        # construction, so the cluster achieves exact deduplication at any size.
+        snapshots = make_snapshots()
+        exact = trace_statistics(snapshots)["deduplication_ratio"]
+        for num_nodes in (1, 3, 8, 16):
+            result = ClusterSimulator(num_nodes, ChunkDHTRouting()).run(snapshots)
+            assert result.cluster_deduplication_ratio == pytest.approx(exact)
+
+    def test_chunk_level_routing_balances_capacity(self):
+        snapshots = make_snapshots()
+        result = ClusterSimulator(4, ChunkDHTRouting()).run(snapshots)
+        skew = result.skew
+        # With 250 unique chunks hashed over 4 nodes, no node should be wildly off.
+        assert skew.max_over_mean < 2.0
+
+    def test_works_on_traces_without_file_metadata(self):
+        snapshot = trace_snapshot_from_tags(
+            "trace", {"stream": [f"x{i}" for i in range(64)]}, has_file_metadata=False
+        )
+        result = ClusterSimulator(4, ChunkDHTRouting()).run([snapshot])
+        assert result.units_routed == 64
+
+    def test_messages_are_one_per_chunk(self):
+        snapshots = make_snapshots()
+        result = ClusterSimulator(4, ChunkDHTRouting()).run(snapshots)
+        assert result.messages.after_routing == 400
+        assert result.messages.pre_routing == 0

@@ -1,0 +1,78 @@
+"""Tests for repro.storage.chunk_index."""
+
+from repro.storage.chunk_index import DiskChunkIndex
+from tests.helpers import synthetic_fingerprint
+
+
+class TestEnabledIndex:
+    def test_insert_and_lookup(self):
+        index = DiskChunkIndex()
+        fp = synthetic_fingerprint("a")
+        index.insert(fp, 7)
+        assert index.lookup(fp) == 7
+
+    def test_lookup_missing(self):
+        index = DiskChunkIndex()
+        assert index.lookup(synthetic_fingerprint("missing")) is None
+
+    def test_contains(self):
+        index = DiskChunkIndex()
+        fp = synthetic_fingerprint("x")
+        assert fp not in index
+        index.insert(fp, 1)
+        assert fp in index
+
+    def test_insert_many(self):
+        index = DiskChunkIndex()
+        fps = [synthetic_fingerprint(str(i)) for i in range(5)]
+        index.insert_many(fps, container_id=3)
+        assert all(index.lookup(fp) == 3 for fp in fps)
+
+    def test_update_overwrites_container(self):
+        index = DiskChunkIndex()
+        fp = synthetic_fingerprint("moved")
+        index.insert(fp, 1)
+        index.insert(fp, 2)
+        assert index.lookup(fp) == 2
+        assert len(index) == 1
+
+    def test_lookup_counters(self):
+        index = DiskChunkIndex()
+        fp = synthetic_fingerprint("counted")
+        index.insert(fp, 0)
+        index.lookup(fp)
+        index.lookup(synthetic_fingerprint("nope"))
+        assert index.lookups == 2
+        assert index.lookup_hits == 1
+        assert index.hit_ratio == 0.5
+
+    def test_size_in_bytes(self):
+        index = DiskChunkIndex(entry_size_bytes=40)
+        for i in range(10):
+            index.insert(synthetic_fingerprint(str(i)), i)
+        assert index.size_in_bytes == 400
+
+    def test_hit_ratio_no_lookups(self):
+        assert DiskChunkIndex().hit_ratio == 0.0
+
+
+class TestDisabledIndex:
+    def test_disabled_lookup_always_misses(self):
+        index = DiskChunkIndex(enabled=False)
+        fp = synthetic_fingerprint("a")
+        index.insert(fp, 1)
+        assert index.lookup(fp) is None
+        assert len(index) == 0
+
+    def test_disabled_contains_false(self):
+        index = DiskChunkIndex(enabled=False)
+        fp = synthetic_fingerprint("a")
+        index.insert(fp, 1)
+        assert fp not in index
+
+    def test_disabled_counts_lookups_but_no_inserts(self):
+        index = DiskChunkIndex(enabled=False)
+        index.insert(synthetic_fingerprint("a"), 1)
+        index.lookup(synthetic_fingerprint("a"))
+        assert index.lookups == 1
+        assert index.inserts == 0

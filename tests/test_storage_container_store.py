@@ -1,0 +1,120 @@
+"""Tests for repro.storage.container_store."""
+
+import threading
+
+import pytest
+
+from repro.errors import ContainerNotFoundError
+from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.storage.container_store import ContainerStore
+from tests.helpers import deterministic_bytes, fingerprint_of
+
+
+def record(data: bytes) -> ChunkRecord:
+    return ChunkRecord(fingerprint=fingerprint_of(data), length=len(data), data=data)
+
+
+class TestStoreChunk:
+    def test_store_and_read_back(self):
+        store = ContainerStore(container_capacity=1024)
+        chunk = record(b"payload")
+        container_id = store.store_chunk(chunk)
+        assert store.read_chunk(container_id, chunk.fingerprint) == b"payload"
+
+    def test_new_container_opened_when_full(self):
+        store = ContainerStore(container_capacity=100)
+        first = store.store_chunk(record(b"a" * 80))
+        second = store.store_chunk(record(b"b" * 80))
+        assert first != second
+        assert store.container_count == 2
+
+    def test_per_stream_open_containers(self):
+        store = ContainerStore(container_capacity=1024)
+        id_stream0 = store.store_chunk(record(b"zero"), stream_id=0)
+        id_stream1 = store.store_chunk(record(b"one"), stream_id=1)
+        assert id_stream0 != id_stream1
+
+    def test_same_stream_reuses_open_container(self):
+        store = ContainerStore(container_capacity=1024)
+        first = store.store_chunk(record(b"a" * 10), stream_id=0)
+        second = store.store_chunk(record(b"b" * 10), stream_id=0)
+        assert first == second
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ContainerStore(container_capacity=0)
+
+    def test_stored_bytes_and_chunks(self):
+        store = ContainerStore(container_capacity=1024)
+        store.store_chunk(record(b"a" * 10))
+        store.store_chunk(record(b"b" * 30))
+        assert store.stored_bytes == 40
+        assert store.stored_chunks == 2
+
+
+class TestFlushAndIO:
+    def test_flush_seals_open_containers(self):
+        store = ContainerStore(container_capacity=1024)
+        container_id = store.store_chunk(record(b"a"))
+        store.flush()
+        assert store.get(container_id).sealed
+
+    def test_flush_counts_container_writes(self):
+        store = ContainerStore(container_capacity=1024)
+        store.store_chunk(record(b"a"), stream_id=0)
+        store.store_chunk(record(b"b"), stream_id=1)
+        store.flush()
+        assert store.container_writes == 2
+
+    def test_sealing_full_container_counts_write(self):
+        store = ContainerStore(container_capacity=20)
+        store.store_chunk(record(b"a" * 15))
+        store.store_chunk(record(b"b" * 15))  # forces seal of the first
+        assert store.container_writes == 1
+
+    def test_read_container_counts_reads(self):
+        store = ContainerStore(container_capacity=1024)
+        container_id = store.store_chunk(record(b"abc"))
+        store.read_container(container_id)
+        store.prefetch_metadata(container_id)
+        assert store.container_reads == 2
+
+    def test_get_unknown_container_raises(self):
+        store = ContainerStore()
+        with pytest.raises(ContainerNotFoundError):
+            store.get(999)
+
+    def test_prefetch_metadata_returns_fingerprints(self):
+        store = ContainerStore(container_capacity=1024)
+        chunks = [record(deterministic_bytes(16, seed=i)) for i in range(3)]
+        container_id = None
+        for chunk in chunks:
+            container_id = store.store_chunk(chunk)
+        fingerprints = store.prefetch_metadata(container_id)
+        assert fingerprints == [chunk.fingerprint for chunk in chunks]
+
+    def test_container_ids(self):
+        store = ContainerStore(container_capacity=50)
+        store.store_chunk(record(b"a" * 40))
+        store.store_chunk(record(b"b" * 40))
+        assert store.container_ids() == [0, 1]
+
+
+class TestConcurrency:
+    def test_parallel_streams_store_all_chunks(self):
+        store = ContainerStore(container_capacity=4096)
+        num_threads = 4
+        chunks_per_thread = 50
+
+        def worker(stream_id):
+            for i in range(chunks_per_thread):
+                data = deterministic_bytes(64, seed=stream_id * 1000 + i)
+                store.store_chunk(record(data), stream_id=stream_id)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.stored_chunks == num_threads * chunks_per_thread
+        assert store.stored_bytes == num_threads * chunks_per_thread * 64

@@ -1,0 +1,100 @@
+"""Tests for repro.storage.fingerprint_cache."""
+
+from repro.storage.fingerprint_cache import ChunkFingerprintCache
+from tests.helpers import synthetic_fingerprint
+
+
+def fps(prefix, count):
+    return [synthetic_fingerprint(f"{prefix}-{i}") for i in range(count)]
+
+
+class TestPrefetch:
+    def test_prefetch_and_lookup(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        fingerprints = fps("c0", 10)
+        cache.prefetch_container(0, fingerprints)
+        assert cache.lookup(fingerprints[3]) == 0
+
+    def test_lookup_missing_returns_none(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        assert cache.lookup(synthetic_fingerprint("nope")) is None
+
+    def test_prefetch_counter(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        cache.prefetch_container(0, fps("a", 2))
+        cache.prefetch_container(1, fps("b", 2))
+        assert cache.prefetches == 2
+
+    def test_is_container_cached(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        cache.prefetch_container(5, fps("x", 3))
+        assert cache.is_container_cached(5)
+        assert not cache.is_container_cached(6)
+
+    def test_cached_fingerprints_count(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        cache.prefetch_container(0, fps("a", 7))
+        assert cache.cached_fingerprints == 7
+        assert cache.cached_containers == 1
+
+
+class TestEviction:
+    def test_lru_container_evicted(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        cache.prefetch_container(0, fps("c0", 3))
+        cache.prefetch_container(1, fps("c1", 3))
+        cache.prefetch_container(2, fps("c2", 3))
+        assert not cache.is_container_cached(0)
+        assert cache.is_container_cached(1)
+        assert cache.is_container_cached(2)
+
+    def test_evicted_fingerprints_not_found(self):
+        cache = ChunkFingerprintCache(capacity_containers=1)
+        first = fps("c0", 3)
+        cache.prefetch_container(0, first)
+        cache.prefetch_container(1, fps("c1", 3))
+        assert cache.lookup(first[0]) is None
+
+    def test_lookup_refreshes_container_recency(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        first = fps("c0", 2)
+        cache.prefetch_container(0, first)
+        cache.prefetch_container(1, fps("c1", 2))
+        cache.lookup(first[0])  # refresh container 0
+        cache.prefetch_container(2, fps("c2", 2))
+        assert cache.is_container_cached(0)
+        assert not cache.is_container_cached(1)
+
+    def test_reprefetching_same_container_does_not_grow(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        cache.prefetch_container(0, fps("a", 2))
+        cache.prefetch_container(0, fps("a", 2))
+        assert cache.cached_containers == 1
+
+
+class TestIncrementalAdd:
+    def test_add_fingerprint_to_open_container(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        fp = synthetic_fingerprint("new-chunk")
+        cache.add_fingerprint(3, fp)
+        assert cache.lookup(fp) == 3
+
+    def test_add_to_existing_cached_container(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        cache.prefetch_container(0, fps("base", 2))
+        extra = synthetic_fingerprint("extra")
+        cache.add_fingerprint(0, extra)
+        assert cache.lookup(extra) == 0
+        assert cache.cached_containers == 1
+
+
+class TestStatistics:
+    def test_hit_miss_accounting(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        fingerprints = fps("c0", 2)
+        cache.prefetch_container(0, fingerprints)
+        cache.lookup(fingerprints[0])
+        cache.lookup(synthetic_fingerprint("absent"))
+        assert cache.hits >= 1
+        assert cache.misses >= 1
+        assert 0.0 < cache.hit_ratio < 1.0

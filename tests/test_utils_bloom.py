@@ -1,0 +1,76 @@
+"""Tests for repro.utils.bloom."""
+
+import pytest
+
+from repro.utils.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_invalid_expected_items(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=0)
+
+    def test_invalid_false_positive_rate(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=10, false_positive_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=10, false_positive_rate=1.0)
+
+    def test_sizes_scale_with_expected_items(self):
+        small = BloomFilter(expected_items=100)
+        large = BloomFilter(expected_items=10000)
+        assert large.num_bits > small.num_bits
+        assert large.size_in_bytes > small.size_in_bytes
+
+    def test_lower_fp_rate_needs_more_bits(self):
+        loose = BloomFilter(expected_items=1000, false_positive_rate=0.1)
+        tight = BloomFilter(expected_items=1000, false_positive_rate=0.001)
+        assert tight.num_bits > loose.num_bits
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=500, false_positive_rate=0.01)
+        items = [f"chunk-{i}".encode() for i in range(500)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_unseen_items_mostly_absent(self):
+        bloom = BloomFilter(expected_items=1000, false_positive_rate=0.01)
+        for i in range(1000):
+            bloom.add(f"present-{i}".encode())
+        false_positives = sum(
+            1 for i in range(1000) if f"absent-{i}".encode() in bloom
+        )
+        # 1% target rate; allow generous slack for statistical variation.
+        assert false_positives < 50
+
+    def test_count_tracks_insertions(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add(b"a")
+        bloom.add(b"b")
+        assert len(bloom) == 2
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(expected_items=10)
+        assert b"anything" not in bloom
+
+    def test_estimated_false_positive_rate_grows(self):
+        bloom = BloomFilter(expected_items=100, false_positive_rate=0.01)
+        assert bloom.estimated_false_positive_rate() == 0.0
+        for i in range(100):
+            bloom.add(f"item-{i}".encode())
+        at_capacity = bloom.estimated_false_positive_rate()
+        for i in range(100, 1000):
+            bloom.add(f"item-{i}".encode())
+        over_capacity = bloom.estimated_false_positive_rate()
+        assert 0.0 < at_capacity < over_capacity <= 1.0
+
+
+class TestRamFootprint:
+    def test_ddfs_style_sizing(self):
+        # The paper's DDFS comparison: the Bloom filter RAM is far below one
+        # full index entry (40 B) per chunk.
+        bloom = BloomFilter(expected_items=100_000, false_positive_rate=0.01)
+        assert bloom.size_in_bytes < 100_000 * 40

@@ -1,0 +1,92 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import (
+    coefficient_of_variation,
+    max_over_mean,
+    mean,
+    percentile,
+    population_stddev,
+    running_totals,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_single_value(self):
+        assert mean([7.5]) == 7.5
+
+
+class TestPopulationStddev:
+    def test_constant_sequence_is_zero(self):
+        assert population_stddev([5, 5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # Population stddev of [2, 4, 4, 4, 5, 5, 7, 9] is exactly 2.
+        assert population_stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_empty_and_singleton_are_zero(self):
+        assert population_stddev([]) == 0.0
+        assert population_stddev([3]) == 0.0
+
+
+class TestCoefficientOfVariation:
+    def test_balanced_is_zero(self):
+        assert coefficient_of_variation([10, 10, 10]) == 0.0
+
+    def test_zero_mean_is_zero(self):
+        assert coefficient_of_variation([0, 0, 0]) == 0.0
+
+    def test_known_value(self):
+        values = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert coefficient_of_variation(values) == pytest.approx(2.0 / 5.0)
+
+
+class TestMaxOverMean:
+    def test_balanced(self):
+        assert max_over_mean([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert max_over_mean([0, 0, 10]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert max_over_mean([]) == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_max(self):
+        assert percentile([1, 5, 2], 1.0) == 5
+
+    def test_min_fraction(self):
+        assert percentile([4, 1, 3], 0.0) == 1
+
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestRunningTotals:
+    def test_simple(self):
+        assert running_totals([1, 2, 3]) == [1, 3, 6]
+
+    def test_empty(self):
+        assert running_totals([]) == []
+
+    def test_monotone_for_positive_inputs(self):
+        totals = running_totals([0.5, 1.5, 2.0, 0.1])
+        assert totals == sorted(totals)
+        assert math.isclose(totals[-1], 4.1)

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.striped_lock."""
+
+import threading
+
+import pytest
+
+from repro.utils.striped_lock import StripedLock
+
+
+class TestConstruction:
+    def test_invalid_stripe_count(self):
+        with pytest.raises(ValueError):
+            StripedLock(num_stripes=0)
+
+    def test_stripe_count_exposed(self):
+        assert StripedLock(num_stripes=64).num_stripes == 64
+
+
+class TestStripeMapping:
+    def test_same_key_same_stripe(self):
+        lock = StripedLock(num_stripes=16)
+        key = b"\x01\x02\x03\x04"
+        assert lock.stripe_for(key) == lock.stripe_for(key)
+
+    def test_stripe_in_range(self):
+        lock = StripedLock(num_stripes=8)
+        for i in range(100):
+            stripe = lock.stripe_for(f"key-{i}".encode())
+            assert 0 <= stripe < 8
+
+    def test_single_stripe_maps_everything_to_zero(self):
+        lock = StripedLock(num_stripes=1)
+        assert lock.stripe_for(b"abc") == 0
+        assert lock.stripe_for(b"\xff" * 20) == 0
+
+
+class TestLocking:
+    def test_locked_context_manager(self):
+        lock = StripedLock(num_stripes=4)
+        with lock.locked(b"key"):
+            pass
+        assert lock.acquisitions == 1
+
+    def test_locked_stripe_by_index(self):
+        lock = StripedLock(num_stripes=4)
+        with lock.locked_stripe(2):
+            pass
+        with lock.locked_stripe(6):  # wraps modulo num_stripes
+            pass
+        assert lock.acquisitions == 2
+
+    def test_concurrent_counter_updates_are_consistent(self):
+        # A shared counter guarded by the striped lock must not lose updates.
+        lock = StripedLock(num_stripes=8)
+        counter = {"value": 0}
+        key = b"shared"
+
+        def work():
+            for _ in range(2000):
+                with lock.locked(key):
+                    counter["value"] += 1
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 8000
+
+    def test_different_stripes_do_not_deadlock_when_nested(self):
+        lock = StripedLock(num_stripes=4)
+        done = []
+
+        def work():
+            with lock.locked_stripe(0):
+                with lock.locked_stripe(1):
+                    done.append(True)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=5)
+        assert done == [True]

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import GiB, KiB, MiB, format_bytes, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("1", 1),
+            ("4KB", 4 * KiB),
+            ("4kb", 4 * KiB),
+            ("4 KiB", 4 * KiB),
+            ("1MB", MiB),
+            ("1.5MB", int(1.5 * MiB)),
+            ("2GiB", 2 * GiB),
+            ("16m", 16 * MiB),
+            ("512b", 512),
+        ],
+    )
+    def test_known_values(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_truncates(self):
+        assert parse_size(10.9) == 10
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("4parsecs")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("")
+
+    def test_suffix_without_number_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("KB")
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(4096) == "4.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(1024 * 1024) == "1.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * GiB) == "3.0 GiB"
+
+    def test_tib_for_huge_values(self):
+        assert "TiB" in format_bytes(100 * 1024 * GiB)
+
+    def test_roundtrip_consistency(self):
+        # parse(format(x)) should be within 5% of x for sizes >= 1 KiB.
+        for value in (KiB, 10 * KiB, MiB, 37 * MiB, GiB):
+            formatted = format_bytes(value)
+            assert abs(parse_size(formatted) - value) <= value * 0.05

@@ -1,0 +1,37 @@
+"""Tests for the standard-workload registry and base workload API."""
+
+from repro.workloads import STANDARD_WORKLOADS
+from repro.workloads.base import ContentWorkload, TraceWorkload, Workload
+
+
+class TestStandardWorkloadRegistry:
+    def test_contains_the_four_paper_datasets(self):
+        assert set(STANDARD_WORKLOADS) == {"linux", "vm", "mail", "web"}
+
+    def test_names_match_keys(self):
+        for key, workload_class in STANDARD_WORKLOADS.items():
+            assert workload_class().name == key
+
+    def test_all_are_workloads(self):
+        for workload_class in STANDARD_WORKLOADS.values():
+            assert issubclass(workload_class, Workload)
+
+    def test_content_vs_trace_split(self):
+        assert issubclass(STANDARD_WORKLOADS["linux"], ContentWorkload)
+        assert issubclass(STANDARD_WORKLOADS["vm"], ContentWorkload)
+        assert issubclass(STANDARD_WORKLOADS["mail"], TraceWorkload)
+        assert issubclass(STANDARD_WORKLOADS["web"], TraceWorkload)
+
+    def test_file_metadata_flags_match_paper(self):
+        # Extreme Binning can only run where file metadata exists: Linux and VM.
+        assert STANDARD_WORKLOADS["linux"]().has_file_metadata
+        assert STANDARD_WORKLOADS["vm"]().has_file_metadata
+        assert not STANDARD_WORKLOADS["mail"]().has_file_metadata
+        assert not STANDARD_WORKLOADS["web"]().has_file_metadata
+
+    def test_describe_keys(self):
+        workload = STANDARD_WORKLOADS["web"](num_days=1, chunks_per_day=100)
+        info = workload.describe()
+        assert {"name", "snapshots", "files", "logical_bytes", "has_file_metadata"} <= set(info)
+        assert info["snapshots"] == 1
+        assert info["logical_bytes"] == 100 * 4096
