@@ -1,0 +1,87 @@
+"""Chunker throughput head-to-head: seed CDC vs inlined CDC vs gear vs static.
+
+Not a paper figure -- this bench guards the chunking-subsystem rewrite:
+
+* ``cdc-reference`` is the seed implementation style (one
+  ``RabinRollingHash.update`` method call per byte), preserved as
+  :meth:`ContentDefinedChunker.chunk_reference`;
+* ``cdc`` is the inlined table-driven scan that replaced it;
+* ``gear`` is the FastCDC-style :class:`GearChunker` (gear table, cut-point
+  skipping, normalized chunking);
+* ``static`` is the no-op-cost baseline the paper selects.
+
+Asserted regressions: the gear chunker is at least 3x faster than the seed
+CDC loop at the same configured average size, the inlined CDC beats its own
+reference scan, and both content-defined chunkers realize a mean chunk size
+within +/-15% of the configured average on random data.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from benchmarks.common import bench_scale, rows_table, run_once
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.fixed import StaticChunker
+from repro.chunking.gear import GearChunker
+from repro.workloads.synthetic import SyntheticDataGenerator
+
+AVERAGE_SIZE = 4096
+
+DATA_BYTES = {"tiny": 1 * 1024 * 1024, "small": 4 * 1024 * 1024, "medium": 16 * 1024 * 1024}
+
+#: The reference scan is ~50x slower than hashlib-grade code; cap its input so
+#: the bench stays interactive (throughput is per-byte, so the shorter scan
+#: still measures the same rate).
+REFERENCE_BYTES_CAP = 1 * 1024 * 1024
+
+
+def _throughput(chunk_fn, data: bytes):
+    """(MB/s, chunk count, mean chunk size) of one chunking pass."""
+    start = time.perf_counter()
+    count = 0
+    for _ in chunk_fn(data):
+        count += 1
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    return len(data) / (1024 * 1024) / elapsed, count, len(data) / max(count, 1)
+
+
+def measure() -> List[List]:
+    data = SyntheticDataGenerator(seed=97).unique_bytes(DATA_BYTES[bench_scale()])
+    cdc = ContentDefinedChunker(average_size=AVERAGE_SIZE)
+    gear = GearChunker(average_size=AVERAGE_SIZE)
+    static = StaticChunker(AVERAGE_SIZE)
+    rows: List[List] = []
+    for label, chunk_fn, payload in (
+        ("cdc-reference (seed)", cdc.chunk_reference, data[:REFERENCE_BYTES_CAP]),
+        ("cdc (inlined)", cdc.chunk, data),
+        ("gear", gear.chunk, data),
+        ("static", static.chunk, data),
+    ):
+        mbps, count, mean_size = _throughput(chunk_fn, payload)
+        rows.append([label, round(mbps, 2), count, round(mean_size)])
+    return rows
+
+
+def test_chunker_throughput_head_to_head(benchmark):
+    rows = run_once(benchmark, measure)
+    rows_table(
+        "chunker_throughput",
+        "Chunker head-to-head on random data (4 KB configured average)",
+        ["chunker", "MB/s", "chunks", "mean chunk (B)"],
+        rows,
+    )
+    by_label = {row[0]: row for row in rows}
+    reference_mbps = by_label["cdc-reference (seed)"][1]
+    cdc_mbps = by_label["cdc (inlined)"][1]
+    gear_mbps = by_label["gear"][1]
+    # The gear chunker must beat the seed CDC loop by at least 3x at the same
+    # configured average size, and the inlined CDC must beat its reference.
+    assert gear_mbps >= reference_mbps * 3
+    assert cdc_mbps > reference_mbps
+    # Realized mean chunk sizes land within +/-15% of the configured average
+    # on random data (the seed's divisor rounding missed by ~ -25%).
+    for label in ("cdc (inlined)", "gear"):
+        mean_size = by_label[label][3]
+        assert abs(mean_size - AVERAGE_SIZE) / AVERAGE_SIZE < 0.15, (label, mean_size)

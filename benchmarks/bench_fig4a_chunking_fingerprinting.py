@@ -21,6 +21,7 @@ from typing import List
 
 from benchmarks.common import bench_scale, rows_table, run_once
 from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.gear import GearChunker
 from repro.parallel.pipeline import (
     measure_chunking_throughput,
     measure_fingerprinting_throughput,
@@ -43,12 +44,16 @@ def measure() -> List[List]:
         cdc = measure_chunking_throughput(
             streams, lambda: ContentDefinedChunker(average_size=4096)
         )
+        gear = measure_chunking_throughput(
+            streams, lambda: GearChunker(average_size=4096)
+        )
         sha1 = measure_fingerprinting_throughput(streams, algorithm="sha1", chunk_size=4096)
         md5 = measure_fingerprinting_throughput(streams, algorithm="md5", chunk_size=4096)
         rows.append(
             [
                 num_streams,
                 round(cdc.megabytes_per_second, 2),
+                round(gear.megabytes_per_second, 2),
                 round(sha1.megabytes_per_second, 1),
                 round(md5.megabytes_per_second, 1),
             ]
@@ -61,21 +66,23 @@ def test_fig4a_chunking_and_fingerprinting_throughput(benchmark):
     rows_table(
         "fig4a_chunking_fingerprinting",
         "Figure 4(a) -- client-side throughput (MB/s) vs number of data streams",
-        ["streams", "CDC chunking", "SHA-1 fingerprinting", "MD5 fingerprinting"],
+        ["streams", "CDC chunking", "gear chunking", "SHA-1 fingerprinting", "MD5 fingerprinting"],
         rows,
     )
     # Shape checks: fingerprinting (either hash) is far faster than pure-Python
     # CDC at every stream count, which is the reason both the paper and this
     # reproduction run the remaining experiments with static chunking.  (The
     # paper's MD5-is-2x-SHA-1 relationship does not reproduce on CPUs with
-    # SHA-1 hardware acceleration, so only the CDC gap is asserted.)
-    for _, cdc, sha1, md5 in rows:
+    # SHA-1 hardware acceleration, so only the CDC gap is asserted.)  The gear
+    # chunker narrows the gap but hashlib-grade C code still wins.
+    for _, cdc, gear, sha1, md5 in rows:
         assert sha1 > cdc * 5
         assert md5 > cdc * 5
+        assert gear > cdc
     # Unlike the paper's C++ prototype, aggregate pure-Python fingerprinting
     # throughput does NOT scale with the number of threads (the per-chunk
     # Python overhead is GIL-bound even though hashlib releases the GIL while
     # hashing), so no thread-scaling assertion is made here; the deviation is
     # recorded in EXPERIMENTS.md.  What must hold at every stream count is
     # that the system keeps fingerprinting at a usable rate.
-    assert all(sha1 > 1.0 for _, _, sha1, _ in rows)
+    assert all(sha1 > 1.0 for _, _, _, sha1, _ in rows)

@@ -6,16 +6,22 @@ Creates a 4-node deduplication cluster with the paper's default configuration
 stateful routing), backs up two generations of a small file set, prints the
 deduplication statistics, and verifies that every file restores bit-for-bit.
 
-Run with::
+Both the chunking scheme and the routing scheme are selectable by registered
+name, e.g.::
 
-    python examples/quickstart.py
+    python examples/quickstart.py                            # paper defaults
+    python examples/quickstart.py --chunker gear             # FastCDC-style
+    python examples/quickstart.py --chunker cdc --routing stateless
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 
 from repro import SigmaDedupe
+from repro.chunking import ALL_CHUNKERS, build_chunker
+from repro.routing import ALL_SCHEMES
 from repro.utils.units import format_bytes
 
 
@@ -39,9 +45,28 @@ def edit_files(files, seed: int = 8):
 
 
 def main() -> None:
-    framework = SigmaDedupe(num_nodes=4, routing="sigma")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--chunker",
+        choices=sorted(ALL_CHUNKERS),
+        default="static",
+        help="chunking scheme (default: static, the paper's choice)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=sorted(ALL_SCHEMES),
+        default="sigma",
+        help="data routing scheme (default: sigma)",
+    )
+    args = parser.parse_args()
 
-    print("=== Day 1: initial full backup ===")
+    chunker = build_chunker(args.chunker)
+    framework = SigmaDedupe(num_nodes=4, routing=args.routing, chunker=chunker)
+    print(f"chunking scheme      : {args.chunker} "
+          f"(~{format_bytes(chunker.average_chunk_size)} chunks)")
+    print(f"routing scheme       : {args.routing}")
+
+    print("\n=== Day 1: initial full backup ===")
     day1_files = make_files()
     report1 = framework.backup(day1_files, session_label="day-1")
     print(f"files backed up      : {report1.files}")

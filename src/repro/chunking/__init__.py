@@ -2,7 +2,7 @@
 
 Deduplication partitions large data objects into smaller parts called chunks
 (paper Section 1).  This package implements the chunking algorithms the paper
-uses or evaluates:
+uses or evaluates, plus a high-throughput gear-hash chunker:
 
 * :class:`~repro.chunking.fixed.StaticChunker` -- fixed-size ("static
   chunking", SC) used for the main evaluation with a 4 KB chunk size.
@@ -11,16 +11,46 @@ uses or evaluates:
 * :class:`~repro.chunking.tttd.TTTDChunker` -- the Two-Threshold Two-Divisor
   chunker [16] used for the super-chunk resemblance analysis of Section 2.2
   (1 KB / 2 KB / 4 KB / 32 KB thresholds).
+* :class:`~repro.chunking.gear.GearChunker` -- FastCDC-style gear-hash
+  chunker with normalized chunking and cut-point skipping, the fastest
+  content-defined option here.
 
-All chunkers share the :class:`~repro.chunking.base.Chunker` interface and
-yield :class:`~repro.chunking.base.RawChunk` objects.
+All chunkers share the :class:`~repro.chunking.base.Chunker` interface
+(including the streaming :meth:`~repro.chunking.base.Chunker.chunk_stream`)
+and yield :class:`~repro.chunking.base.RawChunk` objects.  They are also
+registered by name in :data:`ALL_CHUNKERS` for configuration-driven selection
+via :func:`build_chunker`.
 """
+
+from typing import Dict, Type
 
 from repro.chunking.base import Chunker, RawChunk, iter_chunk_payloads
 from repro.chunking.fixed import StaticChunker
 from repro.chunking.rabin import RabinRollingHash, RABIN_WINDOW_SIZE
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.chunking.tttd import TTTDChunker
+from repro.chunking.gear import GearChunker
+from repro.errors import ChunkingError
+
+#: Registry of chunking schemes by configuration name.
+ALL_CHUNKERS: Dict[str, Type[Chunker]] = {
+    "static": StaticChunker,
+    "cdc": ContentDefinedChunker,
+    "tttd": TTTDChunker,
+    "gear": GearChunker,
+}
+
+
+def build_chunker(name: str, **kwargs) -> Chunker:
+    """Instantiate a chunking scheme by its registered name."""
+    try:
+        chunker_class = ALL_CHUNKERS[name]
+    except KeyError:
+        raise ChunkingError(
+            f"unknown chunker {name!r}; expected one of {sorted(ALL_CHUNKERS)}"
+        ) from None
+    return chunker_class(**kwargs)
+
 
 __all__ = [
     "Chunker",
@@ -31,4 +61,7 @@ __all__ = [
     "RABIN_WINDOW_SIZE",
     "ContentDefinedChunker",
     "TTTDChunker",
+    "GearChunker",
+    "ALL_CHUNKERS",
+    "build_chunker",
 ]

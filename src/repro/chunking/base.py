@@ -48,6 +48,45 @@ class Chunker(ABC):
         """Return all chunks of ``data`` as a list (convenience wrapper)."""
         return list(self.chunk(data))
 
+    def chunk_stream(self, blocks: Iterable[bytes]) -> Iterator[RawChunk]:
+        """Chunk a stream delivered as an iterable of byte blocks.
+
+        Yields exactly the chunks that :meth:`chunk` would produce on the
+        concatenation of ``blocks`` (same payloads, same stream offsets)
+        while buffering only the trailing un-committed chunk (at most one
+        maximum chunk size) plus the incoming block, so arbitrarily long
+        streams can be chunked without being materialised.  The carried
+        tail is re-scanned once per block, so very small blocks trade
+        throughput for memory; override (as the fixed-size chunker does)
+        where a cheaper incremental scan exists.
+
+        Correctness relies on the restart property every chunker here has:
+        the scan state is reset at each emitted boundary, so re-chunking a
+        buffer that starts at a boundary continues the stream exactly.  All
+        chunks of an intermediate buffer except the last end at committed
+        boundaries (a hash match or a forced maximum-size cut), both of
+        which depend only on bytes at or before the cut point; only the
+        trailing remainder may still grow, so it is carried into the next
+        buffer.
+        """
+        buffer = bytearray()
+        stream_offset = 0  # offset of buffer[0] within the whole stream
+        for block in blocks:
+            if not block:
+                continue
+            buffer += block
+            chunks = self.chunk_all(bytes(buffer))
+            if len(chunks) < 2:
+                continue
+            for chunk in chunks[:-1]:
+                yield RawChunk(data=chunk.data, offset=stream_offset + chunk.offset)
+            tail = chunks[-1]
+            stream_offset += tail.offset
+            buffer = bytearray(tail.data)
+        if buffer:
+            for chunk in self.chunk(bytes(buffer)):
+                yield RawChunk(data=chunk.data, offset=stream_offset + chunk.offset)
+
     @property
     @abstractmethod
     def average_chunk_size(self) -> int:

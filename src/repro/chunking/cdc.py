@@ -2,12 +2,25 @@
 
 This is the classic LBFS/Cumulus-style chunker: slide a Rabin hash over the
 stream and declare a boundary wherever ``hash mod divisor == divisor - 1``,
-subject to minimum and maximum chunk-size limits.  The expected chunk size is
-approximately ``min_size + divisor`` bytes.
+subject to minimum and maximum chunk-size limits.
+
+The boundary divisor is *calibrated*: chunk lengths follow a geometric
+distribution shifted by ``min_size`` and truncated at ``max_size``, so naively
+using ``divisor = average_size`` (or rounding ``average_size - min_size`` down
+to a power of two, as this module once did) realizes a mean chunk size far
+from the configured average.  :func:`solve_divisor` inverts the truncated
+geometric mean instead, so the realized mean matches ``average_size`` on
+random data and :attr:`ContentDefinedChunker.average_chunk_size` reports the
+exact expectation implied by the chosen parameters.
 
 The paper evaluates CDC with a 4 KB *average* chunk size (Figure 5(a)) and
 finds that its higher chunking cost makes static chunking more *efficient*
 (bytes saved per second) even though CDC finds slightly more redundancy.
+
+The hot path is an inlined table-driven scan (no per-byte method calls); the
+byte-at-a-time :class:`~repro.chunking.rabin.RabinRollingHash` formulation is
+preserved as :meth:`ContentDefinedChunker.chunk_reference` for equivalence
+tests and as the throughput baseline of ``bench_chunker_throughput``.
 """
 
 from __future__ import annotations
@@ -15,7 +28,51 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.chunking.base import Chunker, RawChunk
-from repro.chunking.rabin import RabinRollingHash, RABIN_WINDOW_SIZE
+from repro.chunking.rabin import (
+    RABIN_WINDOW_SIZE,
+    RabinRollingHash,
+    _MASK64,
+    _MULTIPLIER,
+)
+
+#: Upper bound for divisor search; far beyond any realistic chunk size.
+_MAX_DIVISOR = 1 << 40
+
+
+def expected_gap(divisor: int, span: int) -> float:
+    """Expected bytes beyond ``min_size`` before a cut, boundary odds 1/divisor.
+
+    The scan performs ``span = max_size - min_size`` Bernoulli boundary trials
+    (one per byte past the minimum) and forces a cut if all fail, so the gap
+    ``G`` satisfies ``P(G >= k) = q**k`` with ``q = 1 - 1/divisor``, giving
+    ``E[G] = sum_{k=1..span} q**k``.
+    """
+    if divisor <= 1:
+        return 0.0
+    q = 1.0 - 1.0 / divisor
+    return q * (1.0 - q ** span) / (1.0 - q)
+
+
+def solve_divisor(average_size: int, min_size: int, max_size: int) -> int:
+    """The boundary divisor whose truncated-geometric mean hits ``average_size``.
+
+    Monotone bisection on :func:`expected_gap`; clamps to the degenerate ends
+    when the requested average lies outside ``(min_size, max_size)``.
+    """
+    span = max_size - min_size
+    target = average_size - min_size
+    if target <= 0:
+        return 1  # cut as early as allowed; mean == min_size
+    if target >= span:
+        return _MAX_DIVISOR  # boundaries effectively never fire; mean ~= max_size
+    low, high = 1, _MAX_DIVISOR
+    while low < high:
+        mid = (low + high) // 2
+        if expected_gap(mid, span) < target:
+            low = mid + 1
+        else:
+            high = mid
+    return low
 
 
 class ContentDefinedChunker(Chunker):
@@ -24,7 +81,8 @@ class ContentDefinedChunker(Chunker):
     Parameters
     ----------
     average_size:
-        Target average chunk size in bytes (the boundary divisor).
+        Target average chunk size in bytes; the boundary divisor is solved so
+        the realized mean matches it on random data.
     min_size:
         Minimum chunk size; the hash is not even consulted before this many
         bytes have accumulated, which both bounds metadata overhead and speeds
@@ -50,23 +108,89 @@ class ContentDefinedChunker(Chunker):
         if self.min_size < 1 or self.min_size >= self.max_size:
             raise ValueError("require 1 <= min_size < max_size")
         self.window_size = window_size
-        # Boundary condition: low bits of the rolling hash equal a fixed magic
-        # value.  Using a power-of-two divisor makes the test a mask.
-        self._divisor = 1 << max(6, (average_size - self.min_size).bit_length() - 1)
+        self._divisor = solve_divisor(average_size, self.min_size, self.max_size)
         self._magic = self._divisor - 1
+        self._out_table = RabinRollingHash._build_out_table(window_size)
+        self._expected_size = self.min_size + expected_gap(
+            self._divisor, self.max_size - self.min_size
+        )
 
     @property
     def average_chunk_size(self) -> int:
-        return self._average_size
+        """The realized expected chunk size on random data (not the request)."""
+        return round(self._expected_size)
+
+    @property
+    def divisor(self) -> int:
+        """The calibrated boundary divisor (boundary odds are 1/divisor)."""
+        return self._divisor
 
     def chunk(self, data: bytes) -> Iterator[RawChunk]:
+        if not data:
+            return
+        length = len(data)
+        min_size = self.min_size
+        max_size = self.max_size
+        window_size = self.window_size
+        out_table = self._out_table
+        divisor = self._divisor
+        magic = self._magic
+        multiplier = _MULTIPLIER
+        mask64 = _MASK64
+        start = 0
+        while start < length:
+            remaining = length - start
+            end = start + max_size if remaining > max_size else length
+            cut = end
+            # The hash at a test position depends on at most the preceding
+            # window, so warming up over the window just before the first
+            # test position (start + min_size) reproduces the reference scan
+            # while skipping most of the minimum-size region.
+            if min_size > window_size:
+                position = start + min_size - window_size
+            else:
+                position = start
+            warm_end = position + window_size
+            if warm_end > end:
+                warm_end = end
+            value = 0
+            found = False
+            # Warm-up: the zero-initialised window slides out only zero bytes
+            # (out_table[0] == 0), so outgoing terms vanish.
+            for byte in data[position:warm_end]:
+                value = (value * multiplier + byte) & mask64
+                position += 1
+                if position - start >= min_size and value % divisor == magic:
+                    cut = position
+                    found = True
+                    break
+            if not found:
+                # Steady state: position - start >= max(min_size, window_size)
+                # here, so the minimum-size guard is statically satisfied.
+                for incoming, outgoing in zip(
+                    data[position:end], data[position - window_size:end - window_size]
+                ):
+                    value = (value * multiplier + incoming - out_table[outgoing]) & mask64
+                    position += 1
+                    if value % divisor == magic:
+                        cut = position
+                        break
+            yield RawChunk(data=data[start:cut], offset=start)
+            start = cut
+
+    def chunk_reference(self, data: bytes) -> Iterator[RawChunk]:
+        """Byte-at-a-time reference scan driven by :class:`RabinRollingHash`.
+
+        Kept as the ground truth the inlined :meth:`chunk` must reproduce
+        exactly, and as the pre-optimisation throughput baseline.
+        """
         if not data:
             return
         hasher = RabinRollingHash(self.window_size)
         start = 0
         position = 0
         length = len(data)
-        mask = self._divisor - 1
+        divisor = self._divisor
         magic = self._magic
         while position < length:
             hasher.update(data[position])
@@ -74,7 +198,7 @@ class ContentDefinedChunker(Chunker):
             chunk_length = position - start
             at_boundary = (
                 chunk_length >= self.min_size
-                and (hasher.value & mask) == magic
+                and hasher.value % divisor == magic
             )
             if at_boundary or chunk_length >= self.max_size:
                 yield RawChunk(data=data[start:position], offset=start)

@@ -8,7 +8,7 @@ while achieving a very similar deduplication ratio on the studied workloads
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.chunking.base import Chunker, RawChunk
 
@@ -41,6 +41,21 @@ class StaticChunker(Chunker):
         size = self._chunk_size
         for offset in range(0, len(data), size):
             yield RawChunk(data=data[offset:offset + size], offset=offset)
+
+    def chunk_stream(self, blocks: Iterable[bytes]) -> Iterator[RawChunk]:
+        # Fixed-size boundaries never move, so the generic re-chunking base
+        # implementation would do redundant work; emit directly instead.
+        size = self._chunk_size
+        buffer = bytearray()
+        offset = 0
+        for block in blocks:
+            buffer += block
+            while len(buffer) >= size:
+                yield RawChunk(data=bytes(buffer[:size]), offset=offset)
+                del buffer[:size]
+                offset += size
+        if buffer:
+            yield RawChunk(data=bytes(buffer), offset=offset)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StaticChunker(chunk_size={self._chunk_size})"

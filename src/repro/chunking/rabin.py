@@ -69,10 +69,9 @@ class RabinRollingHash:
 
     def update_bytes(self, data: bytes) -> int:
         """Slide every byte of ``data`` through the window, return the final hash."""
-        value = self.value
         for byte in data:
-            value = self.update(byte)
-        return value
+            self.update(byte)
+        return self.value
 
     @property
     def window_full(self) -> bool:

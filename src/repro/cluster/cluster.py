@@ -74,9 +74,11 @@ class DedupeCluster(ClusterView):
         node = self.node(node_id)
         count = 0
         for fingerprint in fingerprints:
+            # Routing probes are read-only: peek so that neither cache
+            # hit/miss statistics nor LRU recency are polluted.
             if node.disk_index.enabled and fingerprint in node.disk_index:
                 count += 1
-            elif node.fingerprint_cache.lookup(fingerprint) is not None:
+            elif node.fingerprint_cache.peek(fingerprint) is not None:
                 count += 1
         return count
 

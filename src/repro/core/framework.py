@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.chunking import build_chunker
 from repro.chunking.base import Chunker
 from repro.chunking.fixed import StaticChunker
 from repro.cluster.client import BackupClient, ClientBackupReport
@@ -63,7 +64,9 @@ class SigmaDedupe:
         (``"sigma"``, ``"stateless"``, ``"stateful"``, ``"extreme_binning"``,
         ``"chunk_dht"``).
     chunker:
-        Chunking algorithm (defaults to 4 KB static chunking).
+        Chunking algorithm instance or one of the registered names
+        (``"static"``, ``"cdc"``, ``"tttd"``, ``"gear"``); defaults to 4 KB
+        static chunking.
     superchunk_size / handprint_size:
         Routing-granularity parameters (paper defaults: 1 MB and 8).
     node_config:
@@ -74,7 +77,7 @@ class SigmaDedupe:
         self,
         num_nodes: int = 4,
         routing: "RoutingScheme | str" = "sigma",
-        chunker: Optional[Chunker] = None,
+        chunker: "Chunker | str | None" = None,
         superchunk_size: int = DEFAULT_SUPERCHUNK_SIZE,
         handprint_size: int = DEFAULT_HANDPRINT_SIZE,
         node_config: Optional[NodeConfig] = None,
@@ -89,6 +92,8 @@ class SigmaDedupe:
                 ) from None
         else:
             routing_scheme = routing
+        if isinstance(chunker, str):
+            chunker = build_chunker(chunker)
         self.cluster = DedupeCluster(
             num_nodes=num_nodes, node_config=node_config, routing_scheme=routing_scheme
         )

@@ -83,6 +83,29 @@ class Fingerprinter:
         for chunk in chunks:
             yield self.fingerprint_chunk(chunk, keep_data=keep_data)
 
-    def fingerprint_stream(self, data: bytes, chunker, keep_data: bool = True) -> List[ChunkRecord]:
-        """Chunk ``data`` with ``chunker`` and fingerprint every chunk."""
-        return list(self.fingerprint_chunks(chunker.chunk(data), keep_data=keep_data))
+    def fingerprint_blocks(
+        self, data: "bytes | Iterable[bytes]", chunker, keep_data: bool = True
+    ) -> Iterator[ChunkRecord]:
+        """Chunk ``data`` lazily and fingerprint every chunk.
+
+        ``data`` may be a whole byte buffer or an iterable of byte blocks (a
+        streaming source).  Nothing is materialised in the block case: the
+        chunker's streaming scan holds at most one maximum-size chunk plus
+        one block, and records are yielded as soon as their chunk is cut, so
+        arbitrarily long streams can be fingerprinted in bounded memory.
+        """
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            chunks = chunker.chunk(bytes(data))
+        else:
+            chunks = chunker.chunk_stream(data)
+        return self.fingerprint_chunks(chunks, keep_data=keep_data)
+
+    def fingerprint_stream(
+        self, data: "bytes | Iterable[bytes]", chunker, keep_data: bool = True
+    ) -> List[ChunkRecord]:
+        """Chunk ``data`` with ``chunker`` and fingerprint every chunk.
+
+        Returns a fully materialised list; for bounded-memory consumption of
+        long block streams iterate :meth:`fingerprint_blocks` instead.
+        """
+        return list(self.fingerprint_blocks(data, chunker, keep_data=keep_data))

@@ -222,12 +222,15 @@ class DedupeNode:
         """Return the payload of a stored chunk for restore.
 
         If the container id is known from the file recipe it is used directly;
-        otherwise the node falls back to its cache and disk index.
+        otherwise the node falls back to its cache and disk index.  Restores
+        are read-only with respect to the backup path's statistics: both
+        fallbacks peek, so restoring never skews ``cache_hit_ratio``, LRU
+        eviction order or the disk index I/O counters.
         """
         if container_id is None:
-            container_id = self.fingerprint_cache.lookup(fingerprint)
+            container_id = self.fingerprint_cache.peek(fingerprint)
         if container_id is None:
-            container_id = self.disk_index.lookup(fingerprint)
+            container_id = self.disk_index.peek(fingerprint)
         if container_id is None:
             raise ChunkNotFoundError(
                 f"chunk {fingerprint.hex()} is not stored on node {self.node_id}"

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.chunking.base import Chunker
 from repro.core.superchunk import SuperChunk
@@ -135,10 +135,13 @@ def measure_similarity_index_lookup(
 
     elapsed = _run_in_threads(worker, len(fingerprint_streams))
     total_lookups = sum(len(stream) for stream in fingerprint_streams)
+    fingerprint_bytes = sum(
+        len(fingerprint) for stream in fingerprint_streams for fingerprint in stream
+    )
     return ThroughputSample(
         label=f"similarity-index-{num_locks}-locks",
         num_streams=len(fingerprint_streams),
-        bytes_processed=total_lookups * 20,  # 20-byte SHA-1 fingerprints
+        bytes_processed=fingerprint_bytes,
         items_processed=total_lookups,
         elapsed_seconds=elapsed,
     )
@@ -182,16 +185,23 @@ class ParallelDedupePipeline:
 
     def backup_data_streams(
         self,
-        data_streams: Sequence[bytes],
+        data_streams: "Sequence[bytes | Iterable[bytes]]",
         chunker: Chunker,
         superchunk_size: int = 1024 * 1024,
         handprint_size: int = 8,
     ) -> ThroughputSample:
-        """Chunk, fingerprint and back up raw byte streams in parallel."""
+        """Chunk, fingerprint and back up raw data streams in parallel.
+
+        Each stream may be one byte buffer or an iterable of byte blocks; the
+        streaming form is chunked and fingerprinted incrementally, so no raw
+        stream buffer is ever materialised.  The assembled super-chunks of
+        all streams (including chunk payloads) are still collected before the
+        timed backup phase starts, as the throughput measurement requires.
+        """
         fingerprinter = Fingerprinter(self.fingerprint_algorithm)
         streams: List[List[SuperChunk]] = []
         for stream_id, data in enumerate(data_streams):
-            records = fingerprinter.fingerprint_stream(data, chunker)
+            records = fingerprinter.fingerprint_blocks(data, chunker)
             superchunks: List[SuperChunk] = []
             pending = []
             pending_bytes = 0

@@ -51,6 +51,16 @@ class DiskChunkIndex:
             self.lookup_hits += 1
         return container_id
 
+    def peek(self, fingerprint: bytes) -> Optional[int]:
+        """Like :meth:`lookup` but without counting a simulated index I/O.
+
+        For read-only probes (restores, routing samples) that must not
+        pollute the lookup/hit statistics the backup path is measured by.
+        """
+        if not self.enabled:
+            return None
+        return self._index.get(fingerprint)
+
     def insert(self, fingerprint: bytes, container_id: int) -> None:
         """Record that ``fingerprint`` is stored in ``container_id``."""
         if not self.enabled:

@@ -82,6 +82,22 @@ class ChunkFingerprintCache:
             return None
         return container_id
 
+    def peek(self, fingerprint: bytes) -> Optional[int]:
+        """Return the container id caching ``fingerprint`` without side effects.
+
+        Unlike :meth:`lookup`, neither the hit/miss statistics nor the LRU
+        recency order are touched, so read-only probes (routing samples,
+        restores) do not skew ``cache_hit_ratio`` or eviction order.
+        """
+        container_id = self._fingerprint_to_container.get(fingerprint)
+        if container_id is None:
+            return None
+        if self._containers.peek(container_id) is None:
+            # The reverse map was stale (entry evicted); drop it quietly.
+            del self._fingerprint_to_container[fingerprint]
+            return None
+        return container_id
+
     def is_container_cached(self, container_id: int) -> bool:
         return self._containers.peek(container_id) is not None
 

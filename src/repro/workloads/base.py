@@ -19,6 +19,9 @@ from typing import Iterator, List
 
 from repro.fingerprint.fingerprinter import ChunkRecord
 
+#: Block size used when a workload file is consumed as a block stream.
+DEFAULT_STREAM_BLOCK_SIZE = 256 * 1024
+
 
 @dataclass
 class WorkloadFile:
@@ -37,6 +40,19 @@ class WorkloadFile:
         if self.chunks:
             return sum(chunk.length for chunk in self.chunks)
         return len(self.data)
+
+    def iter_blocks(self, block_size: int = DEFAULT_STREAM_BLOCK_SIZE) -> Iterator[bytes]:
+        """Yield this file's payload as fixed-size blocks (streaming source).
+
+        Feeds :meth:`repro.chunking.base.Chunker.chunk_stream` and
+        :meth:`repro.fingerprint.fingerprinter.Fingerprinter.fingerprint_blocks`
+        so backups need not hold whole files as one buffer.  Trace files have
+        no payload and yield nothing.
+        """
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        for offset in range(0, len(self.data), block_size):
+            yield self.data[offset:offset + block_size]
 
 
 @dataclass

@@ -13,7 +13,12 @@ import random
 from typing import Iterator, List
 
 from repro.errors import WorkloadError
-from repro.workloads.base import BackupSnapshot, ContentWorkload, WorkloadFile
+from repro.workloads.base import (
+    DEFAULT_STREAM_BLOCK_SIZE,
+    BackupSnapshot,
+    ContentWorkload,
+    WorkloadFile,
+)
 
 
 class SyntheticDataGenerator:
@@ -30,6 +35,25 @@ class SyntheticDataGenerator:
         if length == 0:
             return b""
         return self._rng.randbytes(length)
+
+    def unique_byte_blocks(
+        self, length: int, block_size: int = DEFAULT_STREAM_BLOCK_SIZE
+    ) -> Iterator[bytes]:
+        """Yield ``length`` pseudo-random bytes as a stream of blocks.
+
+        The streaming counterpart of :meth:`unique_bytes` for feeding
+        ``chunk_stream``-based pipelines: no buffer of more than
+        ``block_size`` bytes is ever materialised by the generator.
+        """
+        if length < 0:
+            raise WorkloadError("length must be non-negative")
+        if block_size < 1:
+            raise WorkloadError("block_size must be >= 1")
+        remaining = length
+        while remaining > 0:
+            block = self._rng.randbytes(min(block_size, remaining))
+            remaining -= len(block)
+            yield block
 
     def redundant_bytes(self, length: int, block: bytes) -> bytes:
         """Return ``length`` bytes made of repetitions of ``block`` (fully redundant)."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chunking.cdc import ContentDefinedChunker
+from repro.chunking.cdc import ContentDefinedChunker, expected_gap, solve_divisor
 from tests.helpers import deterministic_bytes
 
 
@@ -78,3 +78,77 @@ class TestContentDefinedChunker:
         chunks = chunker.chunk_all(b"\x00" * 10_000)
         for chunk in chunks[:-1]:
             assert chunk.length == 2048
+
+
+class TestDivisorCalibration:
+    """Regression tests for the average-size bias fix.
+
+    The seed implementation rounded ``average_size - min_size`` *down* to a
+    power of two, so the default "4 KB average" chunker realized a ~3 KB mean.
+    The divisor is now solved from the truncated-geometric chunk-length
+    distribution instead.
+    """
+
+    def test_solved_divisor_inverts_expected_gap(self):
+        for average, minimum, maximum in ((4096, 1024, 16384), (1024, 256, 4096), (8192, 2048, 32768)):
+            divisor = solve_divisor(average, minimum, maximum)
+            realized = minimum + expected_gap(divisor, maximum - minimum)
+            assert abs(realized - average) / average < 0.01
+
+    def test_average_chunk_size_reports_realized_expectation(self):
+        for average in (1024, 4096, 8192):
+            chunker = ContentDefinedChunker(average_size=average)
+            assert abs(chunker.average_chunk_size - average) <= 1
+
+    def test_realized_mean_within_tolerance_on_random_data(self):
+        # Statistical regression: ~500 chunks of seeded random data must land
+        # within +/-15% of the configured average (the seed missed by ~ -25%).
+        data = deterministic_bytes(2_000_000, seed=77)
+        chunker = ContentDefinedChunker(average_size=4096)
+        chunks = chunker.chunk_all(data)
+        observed = len(data) / len(chunks)
+        assert abs(observed - 4096) / 4096 < 0.15
+
+    def test_degenerate_targets_clamp(self):
+        # average <= min cuts as early as allowed; average >= max never cuts
+        # before the forced maximum.
+        assert solve_divisor(256, 256, 1024) == 1
+        assert solve_divisor(1024, 256, 1024) > 1 << 30
+
+
+class TestInlinedScanEquivalence:
+    """The optimised chunk() must reproduce the RabinRollingHash reference."""
+
+    def test_matches_reference_on_random_data(self):
+        data = deterministic_bytes(300_000, seed=21)
+        for chunker in (
+            ContentDefinedChunker(average_size=1024),
+            ContentDefinedChunker(average_size=4096),
+            ContentDefinedChunker(average_size=1024, min_size=16, max_size=4096),
+        ):
+            inlined = [(c.offset, c.data) for c in chunker.chunk(data)]
+            reference = [(c.offset, c.data) for c in chunker.chunk_reference(data)]
+            assert inlined == reference
+
+    def test_matches_reference_when_min_size_below_window(self):
+        # min_size < window_size exercises the partially-filled-window path.
+        data = deterministic_bytes(50_000, seed=22)
+        chunker = ContentDefinedChunker(average_size=256, min_size=8, max_size=1024)
+        inlined = [(c.offset, c.data) for c in chunker.chunk(data)]
+        reference = [(c.offset, c.data) for c in chunker.chunk_reference(data)]
+        assert inlined == reference
+
+    def test_matches_reference_on_degenerate_data(self):
+        chunker = ContentDefinedChunker(average_size=1024, min_size=256, max_size=2048)
+        data = b"\xab" * 20_000
+        inlined = [(c.offset, c.data) for c in chunker.chunk(data)]
+        reference = [(c.offset, c.data) for c in chunker.chunk_reference(data)]
+        assert inlined == reference
+
+    def test_matches_reference_on_short_inputs(self):
+        chunker = ContentDefinedChunker(average_size=1024)
+        for length in (0, 1, 47, 48, 49, 255, 256, 1023, 1024, 1025):
+            data = deterministic_bytes(length, seed=length + 1)
+            inlined = [(c.offset, c.data) for c in chunker.chunk(data)]
+            reference = [(c.offset, c.data) for c in chunker.chunk_reference(data)]
+            assert inlined == reference

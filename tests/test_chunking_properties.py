@@ -4,6 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.chunking.fixed import StaticChunker
+from repro.chunking.gear import GearChunker
 from repro.chunking.tttd import TTTDChunker
 
 binary_data = st.binary(min_size=0, max_size=20_000)
@@ -56,6 +57,32 @@ class TestCDCProperties:
             assert chunk.length <= 2048
 
 
+class TestGearProperties:
+    @given(data=binary_data)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, data):
+        chunker = GearChunker(average_size=512, min_size=64, max_size=2048)
+        chunks = chunker.chunk_all(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    @given(data=binary_data)
+    @settings(max_examples=30, deadline=None)
+    def test_offsets_partition_the_stream(self, data):
+        chunker = GearChunker(average_size=512, min_size=64, max_size=2048)
+        position = 0
+        for chunk in chunker.chunk(data):
+            assert chunk.offset == position
+            position += chunk.length
+        assert position == len(data)
+
+    @given(data=st.binary(min_size=1, max_size=20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_max_size_respected(self, data):
+        chunker = GearChunker(average_size=512, min_size=64, max_size=2048)
+        for chunk in chunker.chunk(data):
+            assert chunk.length <= 2048
+
+
 class TestTTTDProperties:
     @given(data=binary_data)
     @settings(max_examples=30, deadline=None)
@@ -79,3 +106,79 @@ class TestTTTDProperties:
     def test_determinism(self, data):
         chunker = TTTDChunker(min_size=64, backup_mean=128, main_mean=256, max_size=1024)
         assert [c.data for c in chunker.chunk(data)] == [c.data for c in chunker.chunk(data)]
+
+
+def _split_into_blocks(data, cut_points):
+    """Split ``data`` at the (deduplicated, sorted) relative cut points."""
+    boundaries = sorted({max(0, min(len(data), point)) for point in cut_points})
+    blocks = []
+    previous = 0
+    for boundary in boundaries:
+        blocks.append(data[previous:boundary])
+        previous = boundary
+    blocks.append(data[previous:])
+    return blocks
+
+
+def _all_chunkers():
+    return [
+        StaticChunker(512),
+        ContentDefinedChunker(average_size=512, min_size=64, max_size=2048),
+        GearChunker(average_size=512, min_size=64, max_size=2048),
+        TTTDChunker(min_size=64, backup_mean=128, main_mean=256, max_size=1024),
+    ]
+
+
+class TestChunkStreamEquivalence:
+    """chunk_stream over ANY block split must equal one-shot chunk exactly."""
+
+    @given(
+        data=binary_data,
+        cut_points=st.lists(st.integers(min_value=0, max_value=20_000), max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stream_equals_oneshot_for_every_chunker(self, data, cut_points):
+        blocks = _split_into_blocks(data, cut_points)
+        assert b"".join(blocks) == data
+        for chunker in _all_chunkers():
+            one_shot = [(c.offset, c.data) for c in chunker.chunk(data)]
+            streamed = [(c.offset, c.data) for c in chunker.chunk_stream(blocks)]
+            assert streamed == one_shot, type(chunker).__name__
+
+    @given(data=binary_data, block_size=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_block_sizes(self, data, block_size):
+        blocks = [data[i:i + block_size] for i in range(0, len(data), block_size)]
+        for chunker in _all_chunkers():
+            one_shot = [(c.offset, c.data) for c in chunker.chunk(data)]
+            streamed = [(c.offset, c.data) for c in chunker.chunk_stream(blocks)]
+            assert streamed == one_shot, type(chunker).__name__
+
+    def test_stream_of_empty_blocks(self):
+        for chunker in _all_chunkers():
+            assert list(chunker.chunk_stream([])) == []
+            assert list(chunker.chunk_stream([b"", b"", b""])) == []
+
+    def test_generator_input_is_consumed_lazily(self):
+        # chunk_stream must accept a one-pass generator, not just sequences.
+        data = bytes(range(256)) * 64
+        blocks = (data[i:i + 1000] for i in range(0, len(data), 1000))
+        chunker = GearChunker(average_size=512, min_size=64, max_size=2048)
+        streamed = b"".join(c.data for c in chunker.chunk_stream(blocks))
+        assert streamed == data
+
+
+class TestMeanChunkSizeTolerance:
+    """Both content-defined chunkers realize the configured average size."""
+
+    def test_cdc_and_gear_mean_within_15_percent(self):
+        import random
+
+        data = random.Random(1234).randbytes(1_500_000)
+        for chunker in (
+            ContentDefinedChunker(average_size=2048),
+            GearChunker(average_size=2048),
+        ):
+            chunks = chunker.chunk_all(data)
+            observed = len(data) / len(chunks)
+            assert abs(observed - 2048) / 2048 < 0.15, (type(chunker).__name__, observed)

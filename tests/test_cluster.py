@@ -117,3 +117,27 @@ class TestClusterViewInterface:
         assert summary["num_nodes"] == 2
         assert summary["routing_scheme"] == "sigma"
         assert summary["logical_bytes"] > 0
+
+
+class TestSampleMatchCountIsReadOnly:
+    def test_probe_does_not_pollute_cache_statistics(self):
+        cluster = DedupeCluster(2)
+        superchunk = superchunk_from_seeds(range(10))
+        result = cluster.backup_superchunk(superchunk)
+        node = cluster.node(result.node_id)
+        hits = node.fingerprint_cache.hits
+        misses = node.fingerprint_cache.misses
+        assert cluster.sample_match_count(result.node_id, superchunk.fingerprints) == 10
+        assert node.fingerprint_cache.hits == hits
+        assert node.fingerprint_cache.misses == misses
+
+    def test_probe_without_disk_index_uses_cache_peek(self):
+        from repro.node.dedupe_node import NodeConfig
+
+        cluster = DedupeCluster(2, node_config=NodeConfig(enable_disk_index=False))
+        superchunk = superchunk_from_seeds(range(10))
+        result = cluster.backup_superchunk(superchunk)
+        node = cluster.node(result.node_id)
+        misses_before = node.fingerprint_cache.misses
+        assert cluster.sample_match_count(result.node_id, superchunk.fingerprints) == 10
+        assert node.fingerprint_cache.misses == misses_before

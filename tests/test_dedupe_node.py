@@ -159,3 +159,40 @@ class TestCounters:
         node.flush()
         for container_id in node.container_store.container_ids():
             assert node.container_store.get(container_id).sealed
+
+
+class TestRestoreDoesNotPolluteStatistics:
+    """Restores are read-only probes: they must not skew backup-path stats."""
+
+    def test_read_chunk_leaves_cache_statistics_untouched(self):
+        node = DedupeNode(0)
+        superchunk = superchunk_from_seeds(range(5))
+        result = node.backup_superchunk(superchunk)
+        hits = node.fingerprint_cache.hits
+        misses = node.fingerprint_cache.misses
+        for fingerprint in superchunk.fingerprints:
+            node.read_chunk(fingerprint)
+        assert node.fingerprint_cache.hits == hits
+        assert node.fingerprint_cache.misses == misses
+
+    def test_read_chunk_leaves_disk_index_counters_untouched(self):
+        node = DedupeNode(0)
+        superchunk = superchunk_from_seeds(range(5))
+        node.backup_superchunk(superchunk)
+        lookups = node.disk_index.lookups
+        # Read via the disk-index fallback (fingerprint evicted from cache).
+        node.fingerprint_cache._containers.clear()
+        node.fingerprint_cache._fingerprint_to_container.clear()
+        for fingerprint in superchunk.fingerprints:
+            assert node.read_chunk(fingerprint)
+        assert node.disk_index.lookups == lookups
+
+    def test_read_chunk_does_not_refresh_lru_recency(self):
+        config = NodeConfig(cache_capacity_containers=2)
+        node = DedupeNode(0, config=config)
+        superchunk = superchunk_from_seeds(range(3))
+        node.backup_superchunk(superchunk)
+        order_before = list(node.fingerprint_cache._containers)
+        for fingerprint in superchunk.fingerprints:
+            node.read_chunk(fingerprint)
+        assert list(node.fingerprint_cache._containers) == order_before

@@ -81,3 +81,41 @@ class TestChunkRecord:
         record = ChunkRecord(fingerprint=b"\x01", length=1)
         with pytest.raises(AttributeError):
             record.length = 2
+
+
+class TestStreamingFingerprinting:
+    def test_fingerprint_blocks_matches_oneshot(self):
+        data = deterministic_bytes(10_000, seed=31)
+        chunker = StaticChunker(512)
+        one_shot = Fingerprinter("sha1").fingerprint_stream(data, chunker, keep_data=False)
+        blocks = [data[i:i + 777] for i in range(0, len(data), 777)]
+        streamed = list(
+            Fingerprinter("sha1").fingerprint_blocks(blocks, chunker, keep_data=False)
+        )
+        assert [(r.fingerprint, r.length, r.offset) for r in streamed] == [
+            (r.fingerprint, r.length, r.offset) for r in one_shot
+        ]
+
+    def test_fingerprint_stream_accepts_block_iterable(self):
+        data = deterministic_bytes(8_000, seed=32)
+        chunker = StaticChunker(1024)
+        from_bytes = Fingerprinter("sha1").fingerprint_stream(data, chunker)
+        from_blocks = Fingerprinter("sha1").fingerprint_stream(
+            iter([data[:3000], data[3000:3001], data[3001:]]), chunker
+        )
+        assert [r.fingerprint for r in from_blocks] == [r.fingerprint for r in from_bytes]
+
+    def test_fingerprint_blocks_is_lazy(self):
+        chunker = StaticChunker(256)
+        consumed = []
+
+        def blocks():
+            for i in range(4):
+                consumed.append(i)
+                yield bytes([i]) * 256
+
+        iterator = Fingerprinter("sha1").fingerprint_blocks(blocks(), chunker)
+        assert consumed == []  # nothing pulled until iteration starts
+        first = next(iterator)
+        assert first.length == 256
+        assert len(consumed) < 4

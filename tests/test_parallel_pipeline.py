@@ -91,3 +91,36 @@ class TestParallelDedupePipeline:
         )
         assert sample.bytes_processed == 2 * 32 * 1024
         assert node.stats.logical_bytes == 2 * 32 * 1024
+
+
+class TestStreamingBackup:
+    def test_backup_data_streams_accepts_block_iterables(self):
+        data = [deterministic_bytes(32 * 1024, seed=i) for i in range(2)]
+
+        def run(streams):
+            node = DedupeNode(0)
+            ParallelDedupePipeline(node).backup_data_streams(
+                streams, chunker=StaticChunker(1024), superchunk_size=8 * 1024, handprint_size=4
+            )
+            return node.stats.logical_bytes, node.stats.physical_bytes
+
+        whole = run(list(data))
+        blocked = run(
+            [iter([d[i:i + 5000] for i in range(0, len(d), 5000)]) for d in data]
+        )
+        assert blocked == whole
+
+    def test_streaming_backup_with_cdc_chunker_matches_oneshot(self):
+        data = [deterministic_bytes(64 * 1024, seed=9)]
+
+        def run(streams):
+            node = DedupeNode(0)
+            ParallelDedupePipeline(node).backup_data_streams(
+                streams,
+                chunker=ContentDefinedChunker(average_size=1024),
+                superchunk_size=16 * 1024,
+                handprint_size=4,
+            )
+            return node.stats.unique_chunks, node.stats.physical_bytes
+
+        assert run([iter([data[0][:10_000], data[0][10_000:]])]) == run(list(data))

@@ -98,3 +98,42 @@ class TestStatistics:
         assert cache.hits >= 1
         assert cache.misses >= 1
         assert 0.0 < cache.hit_ratio < 1.0
+
+
+class TestPeek:
+    def test_peek_finds_cached_fingerprint(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        fingerprints = fps("c0", 4)
+        cache.prefetch_container(0, fingerprints)
+        assert cache.peek(fingerprints[1]) == 0
+
+    def test_peek_missing_returns_none(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        assert cache.peek(synthetic_fingerprint("nope")) is None
+
+    def test_peek_does_not_touch_statistics(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        fingerprints = fps("c0", 2)
+        cache.prefetch_container(0, fingerprints)
+        cache.peek(fingerprints[0])
+        cache.peek(synthetic_fingerprint("absent"))
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.hit_ratio == 0.0
+
+    def test_peek_does_not_refresh_recency(self):
+        cache = ChunkFingerprintCache(capacity_containers=2)
+        first = fps("c0", 2)
+        cache.prefetch_container(0, first)
+        cache.prefetch_container(1, fps("c1", 2))
+        cache.peek(first[0])  # must NOT rescue container 0 from eviction
+        cache.prefetch_container(2, fps("c2", 2))
+        assert not cache.is_container_cached(0)
+        assert cache.is_container_cached(1)
+
+    def test_peek_evicted_fingerprint_returns_none(self):
+        cache = ChunkFingerprintCache(capacity_containers=1)
+        first = fps("c0", 3)
+        cache.prefetch_container(0, first)
+        cache.prefetch_container(1, fps("c1", 3))
+        assert cache.peek(first[0]) is None

@@ -130,3 +130,31 @@ class TestSyntheticWorkload:
         assert info["snapshots"] == 2
         assert info["files"] == 6
         assert info["has_file_metadata"] is True
+
+
+class TestBlockStreams:
+    def test_unique_byte_blocks_lengths(self):
+        generator = SyntheticDataGenerator(seed=5)
+        blocks = list(generator.unique_byte_blocks(10_000, block_size=4096))
+        assert [len(b) for b in blocks] == [4096, 4096, 1808]
+
+    def test_unique_byte_blocks_matches_unique_bytes_stream(self):
+        # The same seed must produce the same byte stream either way.
+        whole = SyntheticDataGenerator(seed=6).unique_bytes(10_000)
+        hmm = b"".join(SyntheticDataGenerator(seed=6).unique_byte_blocks(10_000, block_size=10_000))
+        assert hmm == whole
+
+    def test_unique_byte_blocks_rejects_bad_args(self):
+        generator = SyntheticDataGenerator(seed=7)
+        with pytest.raises(WorkloadError):
+            list(generator.unique_byte_blocks(-1))
+        with pytest.raises(WorkloadError):
+            list(generator.unique_byte_blocks(100, block_size=0))
+
+    def test_workload_file_iter_blocks(self):
+        from repro.workloads.base import WorkloadFile
+
+        file = WorkloadFile(path="x", data=bytes(range(256)) * 10)
+        blocks = list(file.iter_blocks(block_size=1000))
+        assert b"".join(blocks) == file.data
+        assert all(len(b) <= 1000 for b in blocks)
