@@ -64,6 +64,8 @@ def _run_single_node(files, chunker) -> float:
     partitioner = StreamPartitioner(config)
     start = time.perf_counter()
     for superchunk, _ in partitioner.partition_files(files):
+        if superchunk is None:  # trailing zero-byte files: nothing to back up
+            continue
         node.backup_superchunk(superchunk)
     elapsed = time.perf_counter() - start
     return deduplication_efficiency(

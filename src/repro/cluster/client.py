@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.cluster.recipe import ChunkLocation
-from repro.core.partitioner import PartitionerConfig, StreamPartitioner
+from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
 
 
 @dataclass
@@ -73,11 +73,17 @@ class BackupClient:
 
     def backup_files(
         self,
-        files: Iterable[Tuple[str, bytes]],
+        files: Iterable[Tuple[str, FilePayload]],
         session_label: str = "",
         stream_id: int = 0,
     ) -> ClientBackupReport:
-        """Back up ``(path, data)`` files as one backup session.
+        """Back up ``(path, payload)`` files as one backup session.
+
+        Each payload may be a whole byte buffer or an iterable of byte blocks.
+        Either way the session is processed as one block stream end-to-end:
+        super-chunks are routed, deduplicated and their recipes recorded as
+        soon as they fill, so peak client memory is O(one super-chunk) --
+        independent of file sizes -- rather than O(largest file).
 
         Returns a :class:`ClientBackupReport` with transfer statistics; file
         recipes are recorded with the director so files can be restored.
@@ -86,6 +92,12 @@ class BackupClient:
         report = ClientBackupReport(session_id=session.session_id)
 
         for superchunk, contributions in self.partitioner.partition_files(files, stream_id=stream_id):
+            if superchunk is None:
+                # Trailing zero-byte files with no super-chunk to ride on:
+                # nothing to route, but their (empty) recipes must exist.
+                for path, _records in contributions:
+                    self.director.record_file_chunks(session.session_id, path, [])
+                continue
             decision = self.cluster.route_superchunk(superchunk)
             result = self.cluster.backup_superchunk(superchunk, decision)
             report.superchunks_routed += 1
@@ -115,6 +127,32 @@ class BackupClient:
         self.director.close_session(session.session_id)
         return report
 
-    def backup_bytes(self, path: str, data: bytes, session_label: str = "") -> ClientBackupReport:
+    def backup_bytes(
+        self,
+        path: str,
+        data: bytes,
+        session_label: str = "",
+        stream_id: int = 0,
+    ) -> ClientBackupReport:
         """Convenience wrapper to back up a single in-memory object."""
-        return self.backup_files([(path, data)], session_label=session_label)
+        return self.backup_files(
+            [(path, data)], session_label=session_label, stream_id=stream_id
+        )
+
+    def backup_stream(
+        self,
+        blocks: Iterable[bytes],
+        path: str = "stream",
+        session_label: str = "",
+        stream_id: int = 0,
+    ) -> ClientBackupReport:
+        """Ingest a single (possibly unbounded) block stream as one object.
+
+        The stream is chunked, fingerprinted, grouped and routed incrementally;
+        nothing upstream of one super-chunk is buffered, so streams far larger
+        than memory can be backed up.  The stream is recorded under ``path``
+        and restores like any other file.
+        """
+        return self.backup_files(
+            [(path, blocks)], session_label=session_label, stream_id=stream_id
+        )

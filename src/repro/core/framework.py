@@ -17,7 +17,7 @@ from repro.cluster.client import BackupClient, ClientBackupReport
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.cluster.restore import RestoreManager
-from repro.core.partitioner import PartitionerConfig
+from repro.core.partitioner import FilePayload, PartitionerConfig
 from repro.core.superchunk import DEFAULT_SUPERCHUNK_SIZE
 from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE
 from repro.node.dedupe_node import NodeConfig
@@ -128,13 +128,29 @@ class SigmaDedupe:
 
     def backup(
         self,
-        files: Iterable[Tuple[str, bytes]],
+        files: Iterable[Tuple[str, FilePayload]],
         client_id: str = "default",
         session_label: str = "",
     ) -> BackupReport:
-        """Back up ``(path, data)`` pairs as one session and return a summary."""
+        """Back up ``(path, payload)`` pairs as one session and return a summary.
+
+        Payloads may be byte buffers or iterables of byte blocks; block
+        payloads stream through the client in bounded memory.
+        """
         client = self.client(client_id)
         report = client.backup_files(files, session_label=session_label)
+        return BackupReport.from_client_report(report, self.cluster)
+
+    def backup_stream(
+        self,
+        blocks: Iterable[bytes],
+        path: str = "stream",
+        client_id: str = "default",
+        session_label: str = "",
+    ) -> BackupReport:
+        """Ingest one (possibly unbounded) block stream as a single object."""
+        client = self.client(client_id)
+        report = client.backup_stream(blocks, path=path, session_label=session_label)
         return BackupReport.from_client_report(report, self.cluster)
 
     def restore(self, session_id: str, path: str) -> bytes:

@@ -4,12 +4,22 @@ This is the backup client's "data partitioning" and "chunk fingerprinting"
 modules (paper Section 3.1): each data stream is chunked with fixed or
 variable chunk size, chunk fingerprints are computed, and consecutive chunks
 are grouped into super-chunks for routing.
+
+Every entry point accepts either a whole byte buffer or an iterable of byte
+blocks.  The block form flows straight through
+:meth:`~repro.fingerprint.fingerprinter.Fingerprinter.fingerprint_blocks`
+into super-chunk grouping, so the partitioner's peak memory is one pending
+super-chunk (plus one in-flight chunk), independent of file or stream size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+#: A file payload as the partitioner accepts it: a whole buffer or a stream
+#: of byte blocks (which is never concatenated).
+FilePayload = Union[bytes, Iterable[bytes]]
 
 from repro.chunking.base import Chunker
 from repro.chunking.fixed import StaticChunker
@@ -62,11 +72,15 @@ class StreamPartitioner:
     # chunk-level helpers
     # ------------------------------------------------------------------ #
 
-    def chunk_records(self, data: bytes) -> List[ChunkRecord]:
-        """Chunk and fingerprint a byte buffer."""
-        return self.fingerprinter.fingerprint_stream(
+    def iter_chunk_records(self, data: FilePayload) -> Iterator[ChunkRecord]:
+        """Chunk and fingerprint a buffer or block stream, lazily."""
+        return self.fingerprinter.fingerprint_blocks(
             data, self.config.chunker, keep_data=self.config.keep_chunk_data
         )
+
+    def chunk_records(self, data: FilePayload) -> List[ChunkRecord]:
+        """Chunk and fingerprint a buffer or block stream into a list."""
+        return list(self.iter_chunk_records(data))
 
     # ------------------------------------------------------------------ #
     # super-chunk grouping
@@ -103,74 +117,98 @@ class StreamPartitioner:
                 sequence_number=sequence,
             )
 
-    def partition(self, data: bytes, stream_id: int = 0) -> List[SuperChunk]:
-        """Full pipeline over one byte buffer: chunk, fingerprint, group."""
-        return list(self.group_into_superchunks(self.chunk_records(data), stream_id=stream_id))
+    def iter_superchunks(self, data: FilePayload, stream_id: int = 0) -> Iterator[SuperChunk]:
+        """Full streaming pipeline over one buffer or block stream.
+
+        Chunk, fingerprint and group lazily: super-chunks are yielded as soon
+        as they fill, so an unbounded stream is partitioned in bounded memory.
+        """
+        return self.group_into_superchunks(self.iter_chunk_records(data), stream_id=stream_id)
+
+    def partition(self, data: FilePayload, stream_id: int = 0) -> List[SuperChunk]:
+        """Full pipeline over one buffer or block stream, as a list."""
+        return list(self.iter_superchunks(data, stream_id=stream_id))
 
     def partition_files(
         self,
-        files: Iterable[Tuple[str, bytes]],
+        files: Iterable[Tuple[str, FilePayload]],
         stream_id: int = 0,
-    ) -> Iterator[Tuple[SuperChunk, List[Tuple[str, List[ChunkRecord]]]]]:
-        """Partition a sequence of ``(path, data)`` files into super-chunks.
+    ) -> Iterator[Tuple[Optional[SuperChunk], List[Tuple[str, List[ChunkRecord]]]]]:
+        """Partition ``(path, payload)`` files into super-chunks, streaming.
+
+        Each payload may be a whole buffer or an iterable of byte blocks; the
+        block form is chunked and fingerprinted incrementally, so no file
+        buffer is ever assembled and peak memory is one pending super-chunk.
 
         Super-chunks are cut across file boundaries (the stream is the unit of
         grouping, as in the paper), so each yielded super-chunk is accompanied
         by the list of ``(path, chunk_records)`` contributions it contains,
-        which the director needs to build per-file recipes.
+        which the director needs to build per-file recipes.  A file whose
+        records span several super-chunks contributes to each of them; a
+        contribution list is only opened when its first record arrives, so a
+        file ending exactly on a super-chunk boundary never leaves an empty
+        trailing contribution.
+
+        Zero-byte files contribute an empty record list (their recipe must
+        still exist).  When the stream ends with only such empty
+        contributions and no chunk records to carry them, one final
+        ``(None, contributions)`` pair is yielded: there is nothing to route,
+        but the recipes must not be lost.
         """
         pending: List[ChunkRecord] = []
         pending_files: List[Tuple[str, List[ChunkRecord]]] = []
         pending_bytes = 0
         sequence = 0
 
-        def flush() -> Optional[Tuple[SuperChunk, List[Tuple[str, List[ChunkRecord]]]]]:
-            nonlocal pending, pending_files, pending_bytes, sequence
-            if not pending:
-                return None
-            superchunk = SuperChunk.from_chunks(
-                pending,
-                handprint_size=self.config.handprint_size,
-                stream_id=stream_id,
-                sequence_number=sequence,
-            )
-            contributions = pending_files
-            sequence += 1
-            pending = []
-            pending_files = []
-            pending_bytes = 0
-            return superchunk, contributions
-
         for path, data in files:
-            records = self.chunk_records(data)
-            if not records:
-                # Zero-byte file: record an empty contribution so a recipe exists.
-                pending_files.append((path, []))
-                continue
-            file_records: List[ChunkRecord] = []
-            pending_files.append((path, file_records))
-            for record in records:
-                pending.append(record)
-                file_records.append(record)
-                pending_bytes += record.length
-                if pending_bytes >= self.config.superchunk_size:
-                    result = flush()
-                    if result is not None:
-                        yield result
-                    # Continue the same file into the next super-chunk.
+            file_records: Optional[List[ChunkRecord]] = None
+            file_has_records = False
+            for record in self.iter_chunk_records(data):
+                file_has_records = True
+                if file_records is None:
                     file_records = []
                     pending_files.append((path, file_records))
-            # Drop a trailing empty continuation marker for this file, if any.
-            if not file_records and pending_files and pending_files[-1][0] == path:
-                if pending_files[-1][1] is file_records:
-                    pending_files.pop()
-        result = flush()
-        if result is not None:
-            yield result
+                file_records.append(record)
+                pending.append(record)
+                pending_bytes += record.length
+                if pending_bytes >= self.config.superchunk_size:
+                    yield (
+                        SuperChunk.from_chunks(
+                            pending,
+                            handprint_size=self.config.handprint_size,
+                            stream_id=stream_id,
+                            sequence_number=sequence,
+                        ),
+                        pending_files,
+                    )
+                    sequence += 1
+                    pending = []
+                    pending_files = []
+                    pending_bytes = 0
+                    # If the file continues, its next record opens a fresh
+                    # contribution in the next super-chunk.
+                    file_records = None
+            if not file_has_records:
+                # Zero-byte file: record an empty contribution so a recipe exists.
+                pending_files.append((path, []))
+        if pending:
+            yield (
+                SuperChunk.from_chunks(
+                    pending,
+                    handprint_size=self.config.handprint_size,
+                    stream_id=stream_id,
+                    sequence_number=sequence,
+                ),
+                pending_files,
+            )
+        elif pending_files:
+            # Only zero-byte contributions remain; emit them without a
+            # super-chunk so their recipes are still recorded.
+            yield None, pending_files
 
     def partition_record_stream(
         self,
-        records: Sequence[ChunkRecord],
+        records: Iterable[ChunkRecord],
         stream_id: int = 0,
     ) -> List[SuperChunk]:
         """Group pre-fingerprinted records (trace workloads) into super-chunks."""

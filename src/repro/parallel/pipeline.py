@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.chunking.base import Chunker
+from repro.core.partitioner import PartitionerConfig, StreamPartitioner
 from repro.core.superchunk import SuperChunk
-from repro.fingerprint.fingerprinter import Fingerprinter
 from repro.node.dedupe_node import DedupeNode
 from repro.storage.similarity_index import SimilarityIndex
 from repro.utils.hashing import digest_bytes
@@ -193,34 +193,23 @@ class ParallelDedupePipeline:
         """Chunk, fingerprint and back up raw data streams in parallel.
 
         Each stream may be one byte buffer or an iterable of byte blocks; the
-        streaming form is chunked and fingerprinted incrementally, so no raw
-        stream buffer is ever materialised.  The assembled super-chunks of
-        all streams (including chunk payloads) are still collected before the
-        timed backup phase starts, as the throughput measurement requires.
+        streaming form is chunked and fingerprinted incrementally through
+        :meth:`~repro.core.partitioner.StreamPartitioner.iter_superchunks`,
+        so no raw stream buffer is ever materialised.  The assembled
+        super-chunks of all streams (including chunk payloads) are still
+        collected before the timed backup phase starts, as the throughput
+        measurement requires.
         """
-        fingerprinter = Fingerprinter(self.fingerprint_algorithm)
-        streams: List[List[SuperChunk]] = []
-        for stream_id, data in enumerate(data_streams):
-            records = fingerprinter.fingerprint_blocks(data, chunker)
-            superchunks: List[SuperChunk] = []
-            pending = []
-            pending_bytes = 0
-            for record in records:
-                pending.append(record)
-                pending_bytes += record.length
-                if pending_bytes >= superchunk_size:
-                    superchunks.append(
-                        SuperChunk.from_chunks(
-                            pending, handprint_size=handprint_size, stream_id=stream_id
-                        )
-                    )
-                    pending = []
-                    pending_bytes = 0
-            if pending:
-                superchunks.append(
-                    SuperChunk.from_chunks(
-                        pending, handprint_size=handprint_size, stream_id=stream_id
-                    )
-                )
-            streams.append(superchunks)
+        partitioner = StreamPartitioner(
+            PartitionerConfig(
+                chunker=chunker,
+                superchunk_size=superchunk_size,
+                handprint_size=handprint_size,
+                fingerprint_algorithm=self.fingerprint_algorithm,
+            )
+        )
+        streams: List[List[SuperChunk]] = [
+            list(partitioner.iter_superchunks(data, stream_id=stream_id))
+            for stream_id, data in enumerate(data_streams)
+        ]
         return self.backup_streams(streams)

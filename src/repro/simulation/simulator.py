@@ -284,10 +284,16 @@ class ClusterSimulator(ClusterView):
 
     def run(
         self,
-        snapshots: Sequence[TraceSnapshot],
+        snapshots: Iterable[TraceSnapshot],
         single_node_deduplication_ratio: Optional[float] = None,
     ) -> SimulationResult:
-        """Replay every snapshot and return the aggregated result."""
+        """Replay every snapshot and return the aggregated result.
+
+        ``snapshots`` may be any iterable -- in particular a lazy
+        :func:`~repro.workloads.trace.iter_trace_snapshots` generator -- and
+        is consumed one generation at a time, so a trace never needs to be
+        materialised to be simulated.
+        """
         for snapshot in snapshots:
             self.backup_snapshot(snapshot)
         return SimulationResult(

@@ -24,7 +24,13 @@ from repro.workloads.base import (
     Workload,
     WorkloadFile,
 )
-from repro.workloads.trace import TraceChunk, TraceFile, TraceSnapshot, materialize_workload
+from repro.workloads.trace import (
+    TraceChunk,
+    TraceFile,
+    TraceSnapshot,
+    iter_trace_snapshots,
+    materialize_workload,
+)
 from repro.workloads.synthetic import SyntheticDataGenerator, SyntheticWorkload
 from repro.workloads.versioned_source import VersionedSourceWorkload
 from repro.workloads.vm_images import VMBackupWorkload
@@ -47,6 +53,7 @@ __all__ = [
     "TraceChunk",
     "TraceFile",
     "TraceSnapshot",
+    "iter_trace_snapshots",
     "materialize_workload",
     "SyntheticDataGenerator",
     "SyntheticWorkload",

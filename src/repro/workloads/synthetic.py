@@ -22,9 +22,14 @@ from repro.workloads.base import (
 
 
 class SyntheticDataGenerator:
-    """Seeded generator of unique buffers and realistic mutations."""
+    """Seeded generator of unique buffers and realistic mutations.
 
-    def __init__(self, seed: int = 2012):
+    ``seed`` may be any value :class:`random.Random` accepts (int or str);
+    string seeds let workload generators derive independent per-file streams
+    such as ``f"{seed}:{path}"``.
+    """
+
+    def __init__(self, seed: "int | str" = 2012):
         self._rng = random.Random(seed)
 
     def unique_bytes(self, length: int) -> bytes:
@@ -136,6 +141,12 @@ class SyntheticWorkload(ContentWorkload):
     deduplication ratio approximately ``num_generations`` for small change
     fractions.
 
+    Every file evolves on its own deterministic RNG stream (derived from the
+    workload seed and the file index), so payloads are emitted as lazy
+    :class:`~repro.workloads.base.WorkloadFile` sources: a file's bytes are
+    regenerated on demand when it is consumed, and the generator never holds
+    a whole generation -- or even one file -- between snapshots.
+
     Parameters
     ----------
     num_generations:
@@ -143,7 +154,8 @@ class SyntheticWorkload(ContentWorkload):
     files_per_generation:
         Files in each snapshot.
     file_size:
-        Size of each file in bytes.
+        Size of each file in bytes (generation 0; later generations drift
+        slightly through insert/delete mutations).
     change_fraction:
         Fraction of each file modified between consecutive generations.
     seed:
@@ -172,18 +184,30 @@ class SyntheticWorkload(ContentWorkload):
         self.change_fraction = change_fraction
         self.seed = seed
 
+    def _file_payload(self, index: int, generation: int) -> bytes:
+        """Version ``generation`` of file ``index``, regenerated from scratch.
+
+        The file's dedicated RNG stream replays its whole evolution chain, so
+        any version is reproducible without storing any earlier one.
+        """
+        generator = SyntheticDataGenerator(f"{self.seed}:file:{index}")
+        data = generator.unique_bytes(self.file_size)
+        for _ in range(generation):
+            data = generator.evolve(data, self.change_fraction)
+        return data
+
+    def _payload_source(self, index: int, generation: int):
+        def blocks() -> Iterator[bytes]:
+            yield self._file_payload(index, generation)
+        return blocks
+
     def snapshots(self) -> Iterator[BackupSnapshot]:
-        generator = SyntheticDataGenerator(self.seed)
-        current: List[bytes] = [
-            generator.unique_bytes(self.file_size) for _ in range(self.files_per_generation)
-        ]
         for generation in range(self.num_generations):
-            if generation > 0:
-                current = [
-                    generator.evolve(data, self.change_fraction) for data in current
-                ]
-            files = [
-                WorkloadFile(path=f"gen{generation:03d}/file{index:04d}.bin", data=data)
-                for index, data in enumerate(current)
+            files: List[WorkloadFile] = [
+                WorkloadFile(
+                    path=f"gen{generation:03d}/file{index:04d}.bin",
+                    source=self._payload_source(index, generation),
+                )
+                for index in range(self.files_per_generation)
             ]
             yield BackupSnapshot(label=f"generation-{generation:03d}", files=files)

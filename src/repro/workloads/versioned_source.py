@@ -10,10 +10,19 @@ and that this generator preserves are:
 * a few files are added and removed per version.
 
 Absolute volume is scaled down so experiments run in seconds of pure Python.
+
+The tree evolves as pure metadata: for every live path only its cumulative
+*edit count* is tracked, and file payloads are lazy
+:class:`~repro.workloads.base.WorkloadFile` sources that regenerate the
+content on demand from a per-path RNG stream (base content plus ``edits``
+applications of :meth:`SyntheticDataGenerator.evolve`).  Emitting a snapshot
+therefore never materialises the tree's bytes; consumers stream one file at a
+time.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterator, List
 
 from repro.errors import WorkloadError
@@ -69,52 +78,71 @@ class VersionedSourceWorkload(ContentWorkload):
         self.churn_fraction = churn_fraction
         self.seed = seed
 
-    def _new_file_content(self, generator: SyntheticDataGenerator) -> bytes:
-        # Source files have a skewed but small size distribution: mostly around
-        # the mean, a few several times larger.
+    # ------------------------------------------------------------------ #
+    # lazy per-file content
+    # ------------------------------------------------------------------ #
+
+    def _file_payload(self, path: str, edits: int) -> bytes:
+        """Content of ``path`` after ``edits`` localised edits.
+
+        Each path owns an independent RNG stream, so any edit level of any
+        file is reproducible without the rest of the tree.
+        """
+        generator = SyntheticDataGenerator(f"{self.seed}:{path}")
+        # Source files have a skewed but small size distribution: mostly
+        # around the mean, a few several times larger.
         size = generator.randint(self.mean_file_size // 4, self.mean_file_size * 2)
         if generator.random() < 0.05:
             size *= 4
-        return generator.unique_bytes(size)
+        data = generator.unique_bytes(size)
+        for _ in range(edits):
+            data = generator.evolve(data, change_fraction=0.08, edit_size=128)
+        return data
 
-    def _initial_tree(self, generator: SyntheticDataGenerator) -> Dict[str, bytes]:
-        tree: Dict[str, bytes] = {}
+    def _payload_source(self, path: str, edits: int):
+        def blocks() -> Iterator[bytes]:
+            yield self._file_payload(path, edits)
+        return blocks
+
+    # ------------------------------------------------------------------ #
+    # metadata-level tree evolution
+    # ------------------------------------------------------------------ #
+
+    def _initial_tree(self) -> Dict[str, int]:
+        tree: Dict[str, int] = {}
         for index in range(self.files_per_version):
             directory = _DIRECTORIES[index % len(_DIRECTORIES)]
-            path = f"{directory}/file_{index:05d}.c"
-            tree[path] = self._new_file_content(generator)
+            tree[f"{directory}/file_{index:05d}.c"] = 0
         return tree
 
-    def _evolve_tree(
-        self, tree: Dict[str, bytes], generator: SyntheticDataGenerator, version: int
-    ) -> Dict[str, bytes]:
+    def _evolve_tree(self, tree: Dict[str, int], rng: random.Random, version: int) -> Dict[str, int]:
         evolved = dict(tree)
         paths = sorted(evolved.keys())
         # Localised edits to a fraction of files.
         num_changed = max(1, int(len(paths) * self.change_fraction))
         for _ in range(num_changed):
-            path = generator.choice(paths)
-            evolved[path] = generator.evolve(evolved[path], change_fraction=0.08, edit_size=128)
+            path = rng.choice(paths)
+            evolved[path] += 1
         # Remove a few files.
         num_removed = int(len(paths) * self.churn_fraction)
         for _ in range(num_removed):
-            path = generator.choice(sorted(evolved.keys()))
+            path = rng.choice(sorted(evolved.keys()))
             evolved.pop(path, None)
         # Add a few new files.
         num_added = max(num_removed, int(len(paths) * self.churn_fraction))
         for index in range(num_added):
-            directory = _DIRECTORIES[generator.randint(0, len(_DIRECTORIES) - 1)]
-            path = f"{directory}/new_v{version:03d}_{index:04d}.c"
-            evolved[path] = self._new_file_content(generator)
+            directory = _DIRECTORIES[rng.randint(0, len(_DIRECTORIES) - 1)]
+            evolved[f"{directory}/new_v{version:03d}_{index:04d}.c"] = 0
         return evolved
 
     def snapshots(self) -> Iterator[BackupSnapshot]:
-        generator = SyntheticDataGenerator(self.seed)
-        tree = self._initial_tree(generator)
+        rng = random.Random(self.seed)
+        tree = self._initial_tree()
         for version in range(self.num_versions):
             if version > 0:
-                tree = self._evolve_tree(tree, generator, version)
+                tree = self._evolve_tree(tree, rng, version)
             files: List[WorkloadFile] = [
-                WorkloadFile(path=path, data=data) for path, data in sorted(tree.items())
+                WorkloadFile(path=path, source=self._payload_source(path, edits))
+                for path, edits in sorted(tree.items())
             ]
             yield BackupSnapshot(label=f"v{version + 1:03d}", files=files)

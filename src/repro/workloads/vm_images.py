@@ -11,15 +11,26 @@ virtual machine servers, 313 GB, dedup ratio ~4.3).  The properties preserved:
 * the large-and-skewed file size distribution is exactly what makes
   file-granularity routing (Extreme Binning) both ineffective and unbalanced
   on this dataset (Figure 8, VM panel).
+
+Images are never materialised.  Each VM image is modelled as a *last-write
+map*: one small integer per 4 KB device block recording the backup generation
+that last wrote it.  A block's content is a deterministic function of
+``(seed, vm, block index, last-write generation)``, so emitting a snapshot
+yields lazy :class:`~repro.workloads.base.WorkloadFile` sources that stream
+an arbitrarily large image 4 KB at a time -- peak memory is O(one block)
+plus the integer map, not O(image).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+import random
+from typing import Iterator, List, Sequence
 
 from repro.errors import WorkloadError
 from repro.workloads.base import BackupSnapshot, ContentWorkload, WorkloadFile
-from repro.workloads.synthetic import SyntheticDataGenerator
+
+#: Device block size: the granularity of simulated VM writes.
+VM_BLOCK_SIZE = 4096
 
 
 class VMBackupWorkload(ContentWorkload):
@@ -37,7 +48,8 @@ class VMBackupWorkload(ContentWorkload):
     size_skew:
         Multiplicative size skew across VMs.
     change_fraction:
-        Fraction of each image rewritten between consecutive backups.
+        Fraction of each image rewritten between consecutive backups
+        (as scattered 4 KB block writes).
     seed:
         Determinism seed.
     """
@@ -69,28 +81,47 @@ class VMBackupWorkload(ContentWorkload):
     def _image_size(self, vm_index: int) -> int:
         return int(self.base_image_size * (self.size_skew ** vm_index))
 
+    def _num_blocks(self, vm_index: int) -> int:
+        return -(-self._image_size(vm_index) // VM_BLOCK_SIZE)
+
+    def _block_payload(self, vm_index: int, block_index: int, version: int, length: int) -> bytes:
+        rng = random.Random(f"{self.seed}:{vm_index}:{block_index}:{version}")
+        return rng.randbytes(length)
+
+    def _image_source(self, vm_index: int, last_write: Sequence[int]):
+        image_size = self._image_size(vm_index)
+
+        def blocks() -> Iterator[bytes]:
+            remaining = image_size
+            for block_index, version in enumerate(last_write):
+                length = min(VM_BLOCK_SIZE, remaining)
+                remaining -= length
+                yield self._block_payload(vm_index, block_index, version, length)
+        return blocks
+
     def snapshots(self) -> Iterator[BackupSnapshot]:
-        generator = SyntheticDataGenerator(self.seed)
-        images: List[bytes] = [
-            generator.unique_bytes(self._image_size(vm)) for vm in range(self.num_vms)
+        rng = random.Random(self.seed)
+        last_write: List[List[int]] = [
+            [0] * self._num_blocks(vm) for vm in range(self.num_vms)
         ]
         operating_systems = ["windows" if vm % 8 < 3 else "linux" for vm in range(self.num_vms)]
         for backup in range(self.num_backups):
             if backup > 0:
-                images = [
-                    # Block-level writes: 4 KB-aligned overwrite spans.
-                    generator.mutate_overwrite(
-                        image,
-                        num_edits=max(1, int(len(image) * self.change_fraction / 4096)),
-                        edit_size=4096,
+                for vm in range(self.num_vms):
+                    # Block-level writes: scattered 4 KB-aligned overwrites.
+                    num_edits = max(
+                        1, int(self._image_size(vm) * self.change_fraction / VM_BLOCK_SIZE)
                     )
-                    for image in images
-                ]
+                    num_blocks = len(last_write[vm])
+                    for _ in range(num_edits):
+                        last_write[vm][rng.randrange(num_blocks)] = backup
             files = [
                 WorkloadFile(
                     path=f"vm{vm:02d}-{operating_systems[vm]}/disk.img",
-                    data=image,
+                    # Freeze this generation's map; later backups mutate it.
+                    source=self._image_source(vm, tuple(last_write[vm])),
+                    size_hint=self._image_size(vm),
                 )
-                for vm, image in enumerate(images)
+                for vm in range(self.num_vms)
             ]
             yield BackupSnapshot(label=f"monthly-{backup + 1:02d}", files=files)

@@ -113,8 +113,97 @@ class TestPartitionFiles:
         all_paths = {path for _, contributions in results for path, _ in contributions}
         assert "empty" in all_paths
 
+    def test_trailing_empty_file_contribution_not_lost(self):
+        # Regression: a zero-byte file with no chunk records after it must
+        # still surface its contribution (as a final route-less pair).
+        partitioner = StreamPartitioner(small_config())
+        results = list(partitioner.partition_files([("empty", b"")]))
+        assert results == [(None, [("empty", [])])]
+
+    def test_empty_file_after_superchunk_boundary_not_lost(self):
+        partitioner = StreamPartitioner(small_config(chunk=256, superchunk=1024))
+        files = [("exact", deterministic_bytes(1024, seed=14)), ("empty", b"")]
+        results = list(partitioner.partition_files(files))
+        assert len(results) == 2
+        superchunk, contributions = results[1]
+        assert superchunk is None
+        assert contributions == [("empty", [])]
+
     def test_record_stream_grouping(self):
         partitioner = StreamPartitioner(small_config(chunk=256, superchunk=1024))
         records = partitioner.chunk_records(deterministic_bytes(4096, seed=9))
         superchunks = partitioner.partition_record_stream(records)
         assert sum(sc.chunk_count for sc in superchunks) == len(records)
+
+    def test_file_ending_on_superchunk_boundary_leaves_no_empty_contribution(self):
+        # Regression: a file whose last chunk exactly fills a super-chunk must
+        # not leak an empty trailing contribution into the next super-chunk.
+        partitioner = StreamPartitioner(small_config(chunk=256, superchunk=1024))
+        files = [
+            ("exact", deterministic_bytes(1024, seed=11)),  # fills super-chunk 0
+            ("next", deterministic_bytes(512, seed=12)),
+        ]
+        results = list(partitioner.partition_files(files))
+        assert len(results) == 2
+        first_sc, first_contribs = results[0]
+        second_sc, second_contribs = results[1]
+        assert [path for path, _ in first_contribs] == ["exact"]
+        assert [path for path, _ in second_contribs] == ["next"]
+        # No contribution anywhere is an empty continuation marker.
+        for _, contributions in results:
+            for _, records in contributions:
+                assert records
+        assert first_sc.logical_size == 1024
+        assert second_sc.logical_size == 512
+
+    def test_single_file_exactly_one_superchunk(self):
+        partitioner = StreamPartitioner(small_config(chunk=256, superchunk=1024))
+        results = list(partitioner.partition_files([("only", deterministic_bytes(1024, seed=13))]))
+        assert len(results) == 1
+        superchunk, contributions = results[0]
+        assert superchunk.logical_size == 1024
+        assert [(path, len(records)) for path, records in contributions] == [("only", 4)]
+
+
+class TestPartitionFilesStreaming:
+    def test_block_iterable_payload_matches_buffered(self):
+        partitioner_a = StreamPartitioner(small_config(chunk=256, superchunk=1024))
+        partitioner_b = StreamPartitioner(small_config(chunk=256, superchunk=1024))
+        data = deterministic_bytes(5000, seed=21)
+
+        def blocks():
+            for offset in range(0, len(data), 700):
+                yield data[offset:offset + 700]
+
+        buffered = list(partitioner_a.partition_files([("f", data)]))
+        streamed = list(partitioner_b.partition_files([("f", blocks())]))
+        assert len(buffered) == len(streamed)
+        for (sc_a, contribs_a), (sc_b, contribs_b) in zip(buffered, streamed):
+            assert [r.fingerprint for r in sc_a.chunks] == [r.fingerprint for r in sc_b.chunks]
+            assert [(p, [r.fingerprint for r in recs]) for p, recs in contribs_a] == [
+                (p, [r.fingerprint for r in recs]) for p, recs in contribs_b
+            ]
+
+    def test_mixed_buffered_and_streamed_files(self):
+        partitioner = StreamPartitioner(small_config(chunk=256, superchunk=2048))
+        data_a = deterministic_bytes(900, seed=22)
+        data_b = deterministic_bytes(1100, seed=23)
+        files = [("a", data_a), ("b", iter([data_b[:400], data_b[400:]]))]
+        total = 0
+        seen = set()
+        for superchunk, contributions in partitioner.partition_files(files):
+            for path, records in contributions:
+                seen.add(path)
+                total += sum(record.length for record in records)
+        assert seen == {"a", "b"}
+        assert total == len(data_a) + len(data_b)
+
+    def test_iter_superchunks_matches_partition(self):
+        partitioner = StreamPartitioner(small_config(chunk=256, superchunk=1024))
+        data = deterministic_bytes(6000, seed=24)
+        eager = partitioner.partition(data)
+        lazy = list(partitioner.iter_superchunks(iter([data[:2500], data[2500:]])))
+        assert [sc.logical_size for sc in eager] == [sc.logical_size for sc in lazy]
+        assert [
+            [record.fingerprint for record in sc.chunks] for sc in eager
+        ] == [[record.fingerprint for record in sc.chunks] for sc in lazy]
