@@ -8,12 +8,16 @@ Not a paper figure -- this bench guards the chunking-subsystem rewrite:
 * ``cdc`` is the inlined table-driven scan that replaced it;
 * ``gear`` is the FastCDC-style :class:`GearChunker` (gear table, cut-point
   skipping, normalized chunking);
+* ``gear-accel`` is the NumPy-vectorised lag-sum scan over the same gear
+  boundaries (skipped when NumPy is absent);
 * ``static`` is the no-op-cost baseline the paper selects.
 
 Asserted regressions: the gear chunker is at least 3x faster than the seed
-CDC loop at the same configured average size, the inlined CDC beats its own
-reference scan, and both content-defined chunkers realize a mean chunk size
-within +/-15% of the configured average on random data.
+CDC loop at the same configured average size, the accelerated gear scan is
+at least 3x faster than the pure gear scan (and 10x the seed CDC loop) when
+NumPy is present, the inlined CDC beats its own reference scan, and the
+content-defined chunkers realize a mean chunk size within +/-15% of the
+configured average on random data.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import time
 from typing import List
 
 from benchmarks.common import bench_scale, rows_table, run_once
+from repro.chunking.accel import AcceleratedGearChunker, numpy_available
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.chunking.fixed import StaticChunker
 from repro.chunking.gear import GearChunker
@@ -52,13 +57,17 @@ def measure() -> List[List]:
     cdc = ContentDefinedChunker(average_size=AVERAGE_SIZE)
     gear = GearChunker(average_size=AVERAGE_SIZE)
     static = StaticChunker(AVERAGE_SIZE)
-    rows: List[List] = []
-    for label, chunk_fn, payload in (
+    contenders = [
         ("cdc-reference (seed)", cdc.chunk_reference, data[:REFERENCE_BYTES_CAP]),
         ("cdc (inlined)", cdc.chunk, data),
         ("gear", gear.chunk, data),
         ("static", static.chunk, data),
-    ):
+    ]
+    if numpy_available():
+        gear_accel = AcceleratedGearChunker(average_size=AVERAGE_SIZE)
+        contenders.insert(3, ("gear-accel", gear_accel.chunk, data))
+    rows: List[List] = []
+    for label, chunk_fn, payload in contenders:
         mbps, count, mean_size = _throughput(chunk_fn, payload)
         rows.append([label, round(mbps, 2), count, round(mean_size)])
     return rows
@@ -80,8 +89,19 @@ def test_chunker_throughput_head_to_head(benchmark):
     # configured average size, and the inlined CDC must beat its reference.
     assert gear_mbps >= reference_mbps * 3
     assert cdc_mbps > reference_mbps
+    content_defined = ["cdc (inlined)", "gear"]
+    if numpy_available():
+        # The vectorised scan must break the pure-Python ceiling decisively:
+        # >= 3x the pure gear scan and >= 10x the seed CDC loop.  It cuts the
+        # same boundaries, so its chunk count must match the pure gear row
+        # exactly.
+        accel_mbps = by_label["gear-accel"][1]
+        assert accel_mbps >= gear_mbps * 3
+        assert accel_mbps >= reference_mbps * 10
+        assert by_label["gear-accel"][2] == by_label["gear"][2]
+        content_defined.append("gear-accel")
     # Realized mean chunk sizes land within +/-15% of the configured average
     # on random data (the seed's divisor rounding missed by ~ -25%).
-    for label in ("cdc (inlined)", "gear"):
+    for label in content_defined:
         mean_size = by_label[label][3]
         assert abs(mean_size - AVERAGE_SIZE) / AVERAGE_SIZE < 0.15, (label, mean_size)

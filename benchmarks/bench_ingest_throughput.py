@@ -1,0 +1,193 @@
+"""End-to-end ingest throughput: workload -> chunk -> fingerprint -> route -> store.
+
+Not a paper figure -- this harness records the repository's ingest
+performance trajectory and guards it in CI.  Three stages are measured, each
+in MB/s over the same synthetic payload, for the pure-Python gear scan and
+(when NumPy is importable) the vectorised one:
+
+* **chunk_only** -- the boundary scan alone (``Chunker.cut_offsets``), the
+  historical pure-Python ceiling (~9 MB/s before vectorisation);
+* **chunk_fingerprint** -- the fused chunk->fingerprint hot path
+  (``Fingerprinter.fingerprint_blocks`` slicing one shared memoryview);
+* **end_to_end** -- a full backup session against an in-memory cluster
+  (``SigmaDedupe.backup``: partitioning, SHA-1, handprint routing, node
+  dedupe and container store).
+
+Results are printed and written to ``BENCH_ingest.json`` at the repository
+root so successive PRs accumulate comparable data points.  Asserted
+regressions (the CI smoke gate): the accelerated scan is >= 3x the pure scan
+and accelerated end-to-end ingest is >= 1.2x the pure end-to-end rate.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py           # full
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.chunking.accel import AcceleratedGearChunker, numpy_available
+from repro.chunking.base import Chunker
+from repro.chunking.gear import GearChunker
+from repro.core.framework import SigmaDedupe
+from repro.fingerprint.fingerprinter import Fingerprinter
+from repro.workloads.synthetic import SyntheticDataGenerator
+
+AVERAGE_CHUNK_SIZE = 4096
+SUPERCHUNK_SIZE = 256 * 1024
+NUM_NODES = 4
+NUM_FILES = 4
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
+
+DATA_BYTES = {"full": 16 * 1024 * 1024, "smoke": 3 * 1024 * 1024}
+
+
+def gear_backends() -> List[Tuple[str, Callable[[], Chunker]]]:
+    backends: List[Tuple[str, Callable[[], Chunker]]] = [
+        ("gear-pure", lambda: GearChunker(average_size=AVERAGE_CHUNK_SIZE)),
+    ]
+    if numpy_available():
+        backends.append(
+            ("gear-accel", lambda: AcceleratedGearChunker(average_size=AVERAGE_CHUNK_SIZE))
+        )
+    return backends
+
+
+def _mbps(num_bytes: int, elapsed: float) -> float:
+    return num_bytes / (1024 * 1024) / max(elapsed, 1e-9)
+
+
+def measure_chunk_only(chunker: Chunker, data: bytes) -> float:
+    start = time.perf_counter()
+    count = sum(1 for _ in chunker.cut_offsets(data))
+    elapsed = time.perf_counter() - start
+    assert count > 0
+    return _mbps(len(data), elapsed)
+
+
+def measure_chunk_fingerprint(chunker: Chunker, data: bytes) -> float:
+    fingerprinter = Fingerprinter("sha1")
+    start = time.perf_counter()
+    for _ in fingerprinter.fingerprint_blocks(data, chunker, keep_data=False):
+        pass
+    elapsed = time.perf_counter() - start
+    assert fingerprinter.bytes_fingerprinted == len(data)
+    return _mbps(len(data), elapsed)
+
+
+def measure_end_to_end(chunker: Chunker, files: List[Tuple[str, bytes]]) -> float:
+    framework = SigmaDedupe(
+        num_nodes=NUM_NODES,
+        routing="sigma",
+        chunker=chunker,
+        superchunk_size=SUPERCHUNK_SIZE,
+    )
+    logical = sum(len(data) for _, data in files)
+    start = time.perf_counter()
+    report = framework.backup(files, session_label="bench-ingest")
+    elapsed = time.perf_counter() - start
+    assert report.logical_bytes == logical, (report.logical_bytes, logical)
+    return _mbps(logical, elapsed)
+
+
+def run(scale: str) -> Dict:
+    total_bytes = DATA_BYTES[scale]
+    generator = SyntheticDataGenerator(seed=1307)
+    data = generator.unique_bytes(total_bytes)
+    file_size = total_bytes // NUM_FILES
+    files = [
+        (f"ingest/file-{index}.bin", data[index * file_size:(index + 1) * file_size])
+        for index in range(NUM_FILES)
+    ]
+
+    results: Dict[str, Dict[str, float]] = {
+        "chunk_only": {},
+        "chunk_fingerprint": {},
+        "end_to_end": {},
+    }
+    for name, factory in gear_backends():
+        results["chunk_only"][name] = round(measure_chunk_only(factory(), data), 2)
+        results["chunk_fingerprint"][name] = round(
+            measure_chunk_fingerprint(factory(), data), 2
+        )
+        results["end_to_end"][name] = round(measure_end_to_end(factory(), files), 2)
+
+    if numpy_available():
+        # The CI smoke gate: a chunking or ingest regression fails the build.
+        chunk_pure = results["chunk_only"]["gear-pure"]
+        chunk_accel = results["chunk_only"]["gear-accel"]
+        assert chunk_accel >= chunk_pure * 3, (
+            f"vectorised scan regressed: {chunk_accel} MB/s vs pure {chunk_pure} MB/s"
+        )
+        e2e_pure = results["end_to_end"]["gear-pure"]
+        e2e_accel = results["end_to_end"]["gear-accel"]
+        assert e2e_accel >= e2e_pure * 1.2, (
+            f"accelerated ingest regressed: {e2e_accel} MB/s vs pure {e2e_pure} MB/s"
+        )
+
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "schema": "bench-ingest-v1",
+        "generated_by": "benchmarks/bench_ingest_throughput.py",
+        "config": {
+            "scale": scale,
+            "data_bytes": total_bytes,
+            "files": NUM_FILES,
+            "average_chunk_size": AVERAGE_CHUNK_SIZE,
+            "superchunk_size": SUPERCHUNK_SIZE,
+            "num_nodes": NUM_NODES,
+            "routing": "sigma",
+            "fingerprint_algorithm": "sha1",
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+        },
+        "results_mb_per_s": results,
+    }
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller payload for CI smoke checks (3 MB instead of 16 MB)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print results without rewriting BENCH_ingest.json",
+    )
+    args = parser.parse_args(argv)
+    document = run("smoke" if args.smoke else "full")
+
+    results = document["results_mb_per_s"]
+    backends = list(results["chunk_only"])
+    print(f"ingest throughput (MB/s), {document['config']['data_bytes']} bytes:")
+    print(f"{'stage':<20}" + "".join(f"{name:>14}" for name in backends))
+    for stage, by_backend in results.items():
+        print(f"{stage:<20}" + "".join(f"{by_backend[name]:>14}" for name in backends))
+    if not numpy_available():
+        print("(NumPy not importable: accelerated backend skipped)")
+
+    if not args.no_write:
+        RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"[saved to {RESULT_PATH}]")
+    print("ok: ingest throughput within asserted bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

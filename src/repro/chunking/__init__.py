@@ -13,16 +13,23 @@ uses or evaluates, plus a high-throughput gear-hash chunker:
   (1 KB / 2 KB / 4 KB / 32 KB thresholds).
 * :class:`~repro.chunking.gear.GearChunker` -- FastCDC-style gear-hash
   chunker with normalized chunking and cut-point skipping, the fastest
-  content-defined option here.
+  pure-Python content-defined option here.
+* :class:`~repro.chunking.accel.AcceleratedGearChunker` -- the same gear
+  boundaries computed by a vectorised NumPy lag-sum scan; strictly optional
+  (NumPy absent => registry falls back to the pure scan, bit-identically).
 
 All chunkers share the :class:`~repro.chunking.base.Chunker` interface
-(including the streaming :meth:`~repro.chunking.base.Chunker.chunk_stream`)
+(including the streaming :meth:`~repro.chunking.base.Chunker.chunk_stream`
+and the allocation-free :meth:`~repro.chunking.base.Chunker.cut_offsets`)
 and yield :class:`~repro.chunking.base.RawChunk` objects.  They are also
 registered by name in :data:`ALL_CHUNKERS` for configuration-driven selection
-via :func:`build_chunker`.
+via :func:`build_chunker`: ``"gear"`` resolves to the accelerated scan when
+NumPy is importable and to the pure scan otherwise, while ``"gear-accel"``
+and ``"gear-pure"`` pin one backend explicitly (``"gear-accel"`` raises
+:class:`~repro.errors.ChunkingError` without NumPy).
 """
 
-from typing import Dict, Type
+from typing import Callable, Dict
 
 from repro.chunking.base import Chunker, RawChunk, iter_chunk_payloads
 from repro.chunking.fixed import StaticChunker
@@ -30,26 +37,34 @@ from repro.chunking.rabin import RabinRollingHash, RABIN_WINDOW_SIZE
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.chunking.tttd import TTTDChunker
 from repro.chunking.gear import GearChunker
+from repro.chunking.accel import (
+    AcceleratedGearChunker,
+    best_gear_chunker,
+    numpy_available,
+)
 from repro.errors import ChunkingError
 
-#: Registry of chunking schemes by configuration name.
-ALL_CHUNKERS: Dict[str, Type[Chunker]] = {
+#: Registry of chunking schemes by configuration name.  Values are factories
+#: (classes or functions) returning a configured :class:`Chunker`.
+ALL_CHUNKERS: Dict[str, Callable[..., Chunker]] = {
     "static": StaticChunker,
     "cdc": ContentDefinedChunker,
     "tttd": TTTDChunker,
-    "gear": GearChunker,
+    "gear": best_gear_chunker,
+    "gear-accel": AcceleratedGearChunker,
+    "gear-pure": GearChunker,
 }
 
 
 def build_chunker(name: str, **kwargs) -> Chunker:
     """Instantiate a chunking scheme by its registered name."""
     try:
-        chunker_class = ALL_CHUNKERS[name]
+        chunker_factory = ALL_CHUNKERS[name]
     except KeyError:
         raise ChunkingError(
             f"unknown chunker {name!r}; expected one of {sorted(ALL_CHUNKERS)}"
         ) from None
-    return chunker_class(**kwargs)
+    return chunker_factory(**kwargs)
 
 
 __all__ = [
@@ -62,6 +77,9 @@ __all__ = [
     "ContentDefinedChunker",
     "TTTDChunker",
     "GearChunker",
+    "AcceleratedGearChunker",
+    "best_gear_chunker",
+    "numpy_available",
     "ALL_CHUNKERS",
     "build_chunker",
 ]

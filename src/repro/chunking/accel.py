@@ -1,0 +1,232 @@
+"""NumPy-accelerated gear scan (optional backend for :class:`GearChunker`).
+
+The gear recurrence ``fp = ((fp << 1) + GEAR[b]) & (2**64 - 1)`` makes the
+fingerprint at position *n* a lag sum of the last 64 table values::
+
+    fp_n = sum_{k=0}^{63} GEAR[b_{n-k}] << k   (mod 2**64)
+
+-- every older term carries a shift of 64 or more and vanishes modulo
+2**64.  That sum is a first-order linear recurrence with constant
+coefficient 2, so the fingerprint at *every* position of a slab can be
+computed with a logarithmic parallel-prefix of vectorised ``uint64``
+shift/adds (6 doubling passes instead of one Python-bytecode iteration per
+byte)::
+
+    F_1[i]  = GEAR[b_i]
+    F_2w[i] = F_w[i] + (F_w[i-w] << w)         # w = 1, 2, 4, 8, 16, 32
+
+after which ``F_64[i]`` is the gear fingerprint of the 64-byte window ending
+at byte ``i``.  Positions whose fingerprint survives the strict/loose
+boundary masks are extracted once per slab; the chunk walk then applies
+min-size cut-point skipping, the normalization-mask switch and max-size
+truncation *sequentially* over those sparse candidate lists, exactly as the
+pure scan does.
+
+The only bytes still touched one at a time are the first 63 past each
+chunk's minimum-size skip: there the scan fingerprint has consumed fewer
+than 64 bytes since its reset, so it differs from the full-window lag sum
+and is recomputed with the pure recurrence (~1.5 % of the stream at the
+default 4 KB average).  The result is byte-identical chunk boundaries to
+:class:`~repro.chunking.gear.GearChunker` at several times the throughput
+(see ``benchmarks/bench_chunker_throughput.py``).
+
+NumPy is strictly optional: this module imports without it,
+:func:`numpy_available` reports the outcome, and
+:func:`best_gear_chunker` (the registry entry behind
+``build_chunker("gear")``) silently falls back to the pure-Python scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.chunking.gear import GEAR_TABLE, GearChunker, _MASK64
+from repro.errors import ChunkingError
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatched import
+    _np = None
+
+#: Bytes of the implicit gear window (64-bit fingerprint, one shift per byte).
+_WINDOW = 64
+
+#: Scan positions after a fingerprint reset whose value is *not* yet the
+#: full-window lag sum (the window is still filling).
+_WARMUP = _WINDOW - 1
+
+#: Payload bytes per vectorised pass.  The doubling prefix makes ~12 passes
+#: over an 8-bytes-per-input-byte ``uint64`` array, so slabs are sized to
+#: keep that array (and one shift scratch buffer) cache-resident rather than
+#: streaming from main memory; 32 KiB of payload (256 KiB of ``uint64``)
+#: measured fastest by a wide margin over 128 KiB+ slabs.
+_SLAB_BYTES = 1 << 15
+
+_GEAR_NP = None
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy-accelerated gear scan can be used in this process."""
+    return _np is not None
+
+
+def _gear_table_np():
+    """The gear table as a ``uint64`` array (built once, on first use)."""
+    global _GEAR_NP
+    if _GEAR_NP is None:
+        _GEAR_NP = _np.array(GEAR_TABLE, dtype=_np.uint64)
+    return _GEAR_NP
+
+
+class AcceleratedGearChunker(GearChunker):
+    """Drop-in :class:`GearChunker` with a vectorised boundary scan.
+
+    Same parameters, same realized chunk-size statistics, byte-identical
+    boundaries; requires NumPy (raises :class:`ChunkingError` otherwise, so
+    configuration-driven selection can fall back cleanly).
+    """
+
+    def __init__(self, *args, **kwargs):
+        if _np is None:
+            raise ChunkingError(
+                "AcceleratedGearChunker requires NumPy; install it or use the "
+                "pure-Python 'gear-pure' chunker"
+            )
+        super().__init__(*args, **kwargs)
+
+    def _boundary_positions(self, data) -> Tuple[List[int], List[int]]:
+        """Sorted byte positions whose full-window fingerprint hits each mask.
+
+        Returns ``(strict_positions, loose_positions)``; a position ``j`` is
+        listed when the gear fingerprint of the 64-byte window ending at
+        ``data[j]`` has all mask bits clear.  Only valid for scans that have
+        consumed at least 64 bytes -- the chunk walk consults these lists
+        exclusively past each chunk's warm-up region, where that holds.
+        """
+        np = _np
+        arr = np.frombuffer(data, dtype=np.uint8)
+        gear = _gear_table_np()
+        mask_strict = np.uint64(self._mask_strict)
+        mask_loose = np.uint64(self._mask_loose)
+        strict_parts: List[List[int]] = []
+        loose_parts: List[List[int]] = []
+        total = arr.shape[0]
+        # Reused across slabs: the lag-sum accumulator and the shift scratch.
+        # Writing shifts into a preallocated scratch instead of a fresh
+        # temporary per pass keeps the whole doubling loop allocation-free.
+        capacity = min(_SLAB_BYTES + _WARMUP, total)
+        lag_buffer = np.empty(capacity, dtype=np.uint64)
+        scratch = np.empty(capacity, dtype=np.uint64)
+        for base in range(0, total, _SLAB_BYTES):
+            # Overlap each slab with the previous 63 bytes so every lag sum
+            # in the slab proper sees its whole window.
+            lo = base - _WARMUP if base >= _WARMUP else 0
+            stop = base + _SLAB_BYTES
+            if stop > total:
+                stop = total
+            size = stop - lo
+            lag_sum = lag_buffer[:size]
+            np.take(gear, arr[lo:stop], out=lag_sum)
+            shift = 1
+            while shift < _WINDOW and shift < size:
+                width = np.uint64(shift)
+                np.left_shift(lag_sum[:-shift], width, out=scratch[: size - shift])
+                lag_sum[shift:] += scratch[: size - shift]
+                shift <<= 1
+            lag_sum = lag_sum[base - lo:]
+            # Strict hits are a subset of loose hits (the strict mask carries
+            # strictly more bits), so test the strict mask only at loose hits.
+            loose_local = np.flatnonzero((lag_sum & mask_loose) == 0)
+            strict_local = loose_local[
+                (lag_sum[loose_local] & mask_strict) == 0
+            ]
+            loose_parts.append((loose_local + base).tolist())
+            strict_parts.append((strict_local + base).tolist())
+        strict_positions = [pos for part in strict_parts for pos in part]
+        loose_positions = [pos for part in loose_parts for pos in part]
+        return strict_positions, loose_positions
+
+    def cut_offsets(self, data: "bytes | bytearray | memoryview") -> Iterator[int]:
+        length = len(data)
+        if length <= self.min_size:
+            if length:
+                yield length
+            return
+        strict_positions, loose_positions = self._boundary_positions(data)
+        num_strict = len(strict_positions)
+        num_loose = len(loose_positions)
+        strict_index = loose_index = 0
+        table = GEAR_TABLE
+        mask64 = _MASK64
+        mask_strict = self._mask_strict
+        mask_loose = self._mask_loose
+        min_size = self.min_size
+        max_size = self.max_size
+        normal_point = self._normal_point
+        start = 0
+        while start < length:
+            remaining = length - start
+            if remaining <= min_size:
+                yield length
+                break
+            end = start + max_size if remaining > max_size else length
+            strict_end = start + normal_point
+            if strict_end > end:
+                strict_end = end
+            position = start + min_size  # cut-point skipping
+            warm_end = position + _WARMUP
+            if warm_end > end:
+                warm_end = end
+            cut = 0
+            # Warm-up: fewer than 64 bytes consumed since the reset, so the
+            # scan fingerprint is not yet the full-window lag sum; replay the
+            # pure recurrence over these (at most 63) bytes.
+            fingerprint = 0
+            for j in range(position, warm_end):
+                fingerprint = ((fingerprint << 1) + table[data[j]]) & mask64
+                if not fingerprint & (mask_strict if j < strict_end else mask_loose):
+                    cut = j + 1
+                    break
+            if not cut:
+                # Full-window region: boundaries are exactly the precomputed
+                # mask hits.  Candidate queries advance monotonically, so the
+                # list cursors never move backwards.
+                if warm_end < strict_end:
+                    while (
+                        strict_index < num_strict
+                        and strict_positions[strict_index] < warm_end
+                    ):
+                        strict_index += 1
+                    if (
+                        strict_index < num_strict
+                        and strict_positions[strict_index] < strict_end
+                    ):
+                        cut = strict_positions[strict_index] + 1
+                if not cut:
+                    loose_from = warm_end if warm_end > strict_end else strict_end
+                    while (
+                        loose_index < num_loose
+                        and loose_positions[loose_index] < loose_from
+                    ):
+                        loose_index += 1
+                    if loose_index < num_loose and loose_positions[loose_index] < end:
+                        cut = loose_positions[loose_index] + 1
+                if not cut:
+                    cut = end
+            yield cut
+            start = cut
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return super().__repr__().replace("GearChunker", "AcceleratedGearChunker", 1)
+
+
+def best_gear_chunker(**kwargs) -> GearChunker:
+    """The fastest gear chunker importable here: accelerated, else pure.
+
+    This is what the registry binds to the ``"gear"`` name, so callers that
+    select chunkers by configuration inherit the NumPy speedup automatically
+    and keep working (bit-identically) where NumPy is absent.
+    """
+    if _np is not None:
+        return AcceleratedGearChunker(**kwargs)
+    return GearChunker(**kwargs)

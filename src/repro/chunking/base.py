@@ -44,6 +44,23 @@ class Chunker(ABC):
     def chunk(self, data: bytes) -> Iterator[RawChunk]:
         """Yield the chunks of ``data`` in stream order."""
 
+    def cut_offsets(self, data: "bytes | bytearray | memoryview") -> Iterator[int]:
+        """Yield the end offset of every chunk of ``data``, in stream order.
+
+        This is the allocation-free form of :meth:`chunk`: the chunk at index
+        ``i`` spans ``[cuts[i-1], cuts[i])`` (with an implicit leading 0), so
+        callers that slice the stream themselves — e.g. the fused
+        chunk→fingerprint path in
+        :meth:`~repro.fingerprint.fingerprinter.Fingerprinter.fingerprint_blocks`
+        — never pay for intermediate :class:`RawChunk` payload copies.
+        ``data`` may be any bytes-like object; a ``memoryview`` is scanned
+        without copying.  The default implementation derives the offsets from
+        :meth:`chunk`; chunkers whose scan never needs the payloads override
+        it as the primitive and build :meth:`chunk` on top.
+        """
+        for chunk in self.chunk(data):
+            yield chunk.offset + len(chunk.data)
+
     def chunk_all(self, data: bytes) -> List[RawChunk]:
         """Return all chunks of ``data`` as a list (convenience wrapper)."""
         return list(self.chunk(data))

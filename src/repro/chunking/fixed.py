@@ -42,6 +42,12 @@ class StaticChunker(Chunker):
         for offset in range(0, len(data), size):
             yield RawChunk(data=data[offset:offset + size], offset=offset)
 
+    def cut_offsets(self, data: "bytes | bytearray | memoryview") -> Iterator[int]:
+        length = len(data)
+        yield from range(self._chunk_size, length, self._chunk_size)
+        if length:
+            yield length
+
     def chunk_stream(self, blocks: Iterable[bytes]) -> Iterator[RawChunk]:
         # Fixed-size boundaries never move, so the generic re-chunking base
         # implementation would do redundant work; emit directly instead.

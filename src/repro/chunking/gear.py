@@ -166,9 +166,7 @@ class GearChunker(Chunker):
         """Chunk length at which the boundary mask switches strict -> loose."""
         return self._normal_point
 
-    def chunk(self, data: bytes) -> Iterator[RawChunk]:
-        if not data:
-            return
+    def cut_offsets(self, data: "bytes | bytearray | memoryview") -> Iterator[int]:
         length = len(data)
         table = GEAR_TABLE
         mask64 = _MASK64
@@ -181,7 +179,7 @@ class GearChunker(Chunker):
         while start < length:
             remaining = length - start
             if remaining <= min_size:
-                yield RawChunk(data=data[start:], offset=start)
+                yield length
                 break
             end = start + max_size if remaining > max_size else length
             cut = end
@@ -205,6 +203,12 @@ class GearChunker(Chunker):
                     if not fingerprint & mask_loose:
                         cut = position
                         break
+            yield cut
+            start = cut
+
+    def chunk(self, data: bytes) -> Iterator[RawChunk]:
+        start = 0
+        for cut in self.cut_offsets(data):
             yield RawChunk(data=data[start:cut], offset=start)
             start = cut
 

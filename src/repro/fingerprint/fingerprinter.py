@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, List, Optional
 
 from repro.chunking.base import RawChunk
 from repro.errors import FingerprintError
-from repro.utils.hashing import SUPPORTED_ALGORITHMS, digest_bytes
+from repro.utils.hashing import SUPPORTED_ALGORITHMS, digest_bytes, digest_constructor
 
 
 @dataclass(frozen=True)
@@ -93,12 +93,39 @@ class Fingerprinter:
         chunker's streaming scan holds at most one maximum-size chunk plus
         one block, and records are yielded as soon as their chunk is cut, so
         arbitrarily long streams can be fingerprinted in bounded memory.
+
+        The buffer case is the fused hot path: the chunker is asked only for
+        :meth:`~repro.chunking.base.Chunker.cut_offsets` and each chunk is
+        hashed straight off one shared ``memoryview`` slab, so no
+        intermediate :class:`~repro.chunking.base.RawChunk` payload copies
+        are made (``bytearray``/``memoryview`` inputs are never copied with
+        ``bytes(data)`` either) and the only per-chunk allocation left is the
+        retained payload when ``keep_data`` is true.
         """
         if isinstance(data, (bytes, bytearray, memoryview)):
-            chunks = chunker.chunk(bytes(data))
-        else:
-            chunks = chunker.chunk_stream(data)
-        return self.fingerprint_chunks(chunks, keep_data=keep_data)
+            return self._fingerprint_buffer(data, chunker, keep_data=keep_data)
+        return self.fingerprint_chunks(chunker.chunk_stream(data), keep_data=keep_data)
+
+    def _fingerprint_buffer(
+        self, data: "bytes | bytearray | memoryview", chunker, keep_data: bool
+    ) -> Iterator[ChunkRecord]:
+        """Fused chunk→fingerprint scan over one in-memory buffer."""
+        view = memoryview(data)
+        if view.ndim != 1 or view.itemsize != 1:  # pragma: no cover - exotic buffers
+            view = view.cast("B")
+        new_digest = digest_constructor(self.algorithm)
+        start = 0
+        for cut in chunker.cut_offsets(view):
+            piece = view[start:cut]
+            self.bytes_fingerprinted += cut - start
+            self.chunks_fingerprinted += 1
+            yield ChunkRecord(
+                fingerprint=new_digest(piece).digest(),
+                length=cut - start,
+                offset=start,
+                data=bytes(piece) if keep_data else None,
+            )
+            start = cut
 
     def fingerprint_stream(
         self, data: "bytes | Iterable[bytes]", chunker, keep_data: bool = True

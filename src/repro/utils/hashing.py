@@ -10,11 +10,38 @@ chunk fingerprints.  These helpers centralise digest creation and the common
 from __future__ import annotations
 
 import hashlib
+from typing import Callable, Dict
 
 from repro.errors import FingerprintError
 
 #: Digest algorithms supported for chunk fingerprinting.
 SUPPORTED_ALGORITHMS = ("sha1", "md5", "sha256")
+
+#: Resolved digest constructors, keyed by algorithm name.  ``hashlib.new``
+#: re-resolves the algorithm string on every call, which is measurable at one
+#: call per chunk; the named constructors (``hashlib.sha1`` etc.) skip that
+#: dispatch entirely, so they are resolved once and cached here.
+_DIGEST_CONSTRUCTORS: Dict[str, Callable] = {}
+
+
+def digest_constructor(algorithm: str = "sha1") -> Callable:
+    """Return the hashlib constructor for ``algorithm``, cached.
+
+    The returned callable is the direct ``hashlib.sha1``-style constructor
+    (accepting an optional initial buffer), so per-chunk digests pay no
+    string dispatch.  Raises :class:`FingerprintError` for algorithms outside
+    :data:`SUPPORTED_ALGORITHMS`.
+    """
+    try:
+        return _DIGEST_CONSTRUCTORS[algorithm]
+    except KeyError:
+        if algorithm not in SUPPORTED_ALGORITHMS:
+            raise FingerprintError(
+                f"unsupported digest algorithm: {algorithm!r}"
+            ) from None
+        constructor = getattr(hashlib, algorithm)
+        _DIGEST_CONSTRUCTORS[algorithm] = constructor
+        return constructor
 
 
 def digest_bytes(data: bytes, algorithm: str = "sha1") -> bytes:
@@ -27,16 +54,12 @@ def digest_bytes(data: bytes, algorithm: str = "sha1") -> bytes:
     algorithm:
         One of :data:`SUPPORTED_ALGORITHMS`.
     """
-    if algorithm not in SUPPORTED_ALGORITHMS:
-        raise FingerprintError(f"unsupported digest algorithm: {algorithm!r}")
-    return hashlib.new(algorithm, data).digest()
+    return digest_constructor(algorithm)(data).digest()
 
 
 def digest_hex(data: bytes, algorithm: str = "sha1") -> str:
     """Return the hexadecimal digest of ``data`` under ``algorithm``."""
-    if algorithm not in SUPPORTED_ALGORITHMS:
-        raise FingerprintError(f"unsupported digest algorithm: {algorithm!r}")
-    return hashlib.new(algorithm, data).hexdigest()
+    return digest_constructor(algorithm)(data).hexdigest()
 
 
 def digest_to_int(fingerprint: bytes) -> int:

@@ -1,0 +1,205 @@
+"""Tests for repro.chunking.accel (NumPy-vectorised gear scan).
+
+The accelerated chunker's only contract is *byte-identical boundaries* to the
+pure-Python :class:`GearChunker` -- every test here either asserts that
+equivalence (across chunk-size configurations, normalization settings, data
+shapes and streaming block splits) or exercises the NumPy-absent fallback.
+"""
+
+import importlib
+import random
+import sys
+
+import pytest
+
+import repro.chunking.accel as accel_module
+from repro.chunking import build_chunker
+from repro.chunking.accel import (
+    AcceleratedGearChunker,
+    best_gear_chunker,
+    numpy_available,
+)
+from repro.chunking.gear import GearChunker
+from repro.errors import ChunkingError
+from tests.helpers import deterministic_bytes
+
+#: Equivalence tests need both backends; the fallback tests below run anywhere.
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="NumPy not importable"
+)
+
+
+def assert_identical_chunks(pure: GearChunker, accel: AcceleratedGearChunker, data):
+    pure_chunks = [(c.offset, bytes(c.data)) for c in pure.chunk(data)]
+    accel_chunks = [(c.offset, bytes(c.data)) for c in accel.chunk(data)]
+    assert accel_chunks == pure_chunks
+
+
+@requires_numpy
+class TestBoundaryEquivalence:
+    @pytest.mark.parametrize("average_size", [128, 1024, 4096])
+    @pytest.mark.parametrize("normalization", [0, 1, 2, 3])
+    def test_random_data_across_configurations(self, average_size, normalization):
+        data = deterministic_bytes(300_000, seed=average_size + normalization)
+        pure = GearChunker(average_size=average_size, normalization=normalization)
+        accel = AcceleratedGearChunker(
+            average_size=average_size, normalization=normalization
+        )
+        assert_identical_chunks(pure, accel, data)
+
+    def test_explicit_min_max_configurations(self):
+        rng = random.Random(42)
+        for average, divisor, multiple in [
+            (256, 2, 2),
+            (1024, 8, 4),
+            (4096, 4, 8),
+            (8192, 2, 2),
+        ]:
+            kwargs = dict(
+                average_size=average,
+                min_size=max(1, average // divisor),
+                max_size=average * multiple,
+            )
+            data = rng.randbytes(200_000)
+            assert_identical_chunks(
+                GearChunker(**kwargs), AcceleratedGearChunker(**kwargs), data
+            )
+
+    @pytest.mark.parametrize(
+        "length",
+        # 0, single byte, around the 64-byte gear window, around min_size,
+        # and straddling the internal vector-slab boundary (32 KiB +- 1).
+        [0, 1, 63, 64, 65, 255, 256, 257, 1000, 32767, 32768, 32769, 32768 + 63],
+    )
+    def test_edge_lengths(self, length):
+        data = deterministic_bytes(length, seed=length)
+        pure = GearChunker(average_size=1024)
+        accel = AcceleratedGearChunker(average_size=1024)
+        assert_identical_chunks(pure, accel, data)
+        assert list(accel.cut_offsets(data)) == list(pure.cut_offsets(data))
+
+    def test_degenerate_constant_data_forces_max_size_cuts(self):
+        # Constant bytes never match the masks, so every cut is a forced
+        # max-size cut -- exercises the no-candidate path of the walk.
+        pure = GearChunker(average_size=1024, min_size=256, max_size=2048)
+        accel = AcceleratedGearChunker(average_size=1024, min_size=256, max_size=2048)
+        assert_identical_chunks(pure, accel, b"\x00" * 50_000)
+
+    def test_low_entropy_repetitive_data(self):
+        data = (b"abcd" * 10_000) + deterministic_bytes(5_000, seed=3) + (b"\xff" * 9_000)
+        assert_identical_chunks(
+            GearChunker(average_size=512), AcceleratedGearChunker(average_size=512), data
+        )
+
+    def test_randomized_sweep(self):
+        rng = random.Random(20260726)
+        for _ in range(25):
+            average = rng.choice([128, 512, 2048, 4096])
+            chunker_kwargs = dict(
+                average_size=average, normalization=rng.choice([0, 1, 2, 3])
+            )
+            if rng.random() < 0.5:
+                chunker_kwargs["min_size"] = max(1, average // rng.choice([2, 4, 8]))
+                chunker_kwargs["max_size"] = average * rng.choice([2, 4, 8])
+            data = rng.randbytes(rng.randrange(0, 120_000))
+            assert_identical_chunks(
+                GearChunker(**chunker_kwargs),
+                AcceleratedGearChunker(**chunker_kwargs),
+                data,
+            )
+
+    def test_memoryview_and_bytearray_inputs(self):
+        data = deterministic_bytes(80_000, seed=11)
+        pure = GearChunker(average_size=1024)
+        accel = AcceleratedGearChunker(average_size=1024)
+        expected = list(pure.cut_offsets(data))
+        assert list(accel.cut_offsets(memoryview(data))) == expected
+        assert list(accel.cut_offsets(bytearray(data))) == expected
+
+    def test_roundtrip(self):
+        data = deterministic_bytes(100_000, seed=5)
+        AcceleratedGearChunker(average_size=1024).validate_roundtrip(data)
+
+    def test_statistics_properties_match_pure(self):
+        pure = GearChunker(average_size=4096)
+        accel = AcceleratedGearChunker(average_size=4096)
+        assert accel.average_chunk_size == pure.average_chunk_size
+        assert accel.normal_point == pure.normal_point
+        assert (accel.min_size, accel.max_size) == (pure.min_size, pure.max_size)
+
+
+@requires_numpy
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("block_size", [1000, 4096, 7777, 100_000])
+    def test_chunk_stream_block_split_invariance(self, block_size):
+        data = deterministic_bytes(250_000, seed=13)
+        accel = AcceleratedGearChunker(average_size=1024)
+        one_shot = [(c.offset, bytes(c.data)) for c in accel.chunk(data)]
+        blocks = [data[i:i + block_size] for i in range(0, len(data), block_size)]
+        streamed = [(c.offset, bytes(c.data)) for c in accel.chunk_stream(iter(blocks))]
+        assert streamed == one_shot
+
+    def test_chunk_stream_matches_pure_chunker_stream(self):
+        data = deterministic_bytes(150_000, seed=17)
+        blocks = [data[i:i + 8192] for i in range(0, len(data), 8192)]
+        pure = [
+            (c.offset, bytes(c.data))
+            for c in GearChunker(average_size=2048).chunk_stream(iter(blocks))
+        ]
+        accel = [
+            (c.offset, bytes(c.data))
+            for c in AcceleratedGearChunker(average_size=2048).chunk_stream(iter(blocks))
+        ]
+        assert accel == pure
+
+
+class TestFallback:
+    @requires_numpy
+    def test_best_gear_chunker_prefers_accelerated(self):
+        assert type(best_gear_chunker(average_size=1024)) is AcceleratedGearChunker
+
+    def test_monkeypatched_numpy_absence(self, monkeypatch):
+        monkeypatch.setattr(accel_module, "_np", None)
+        assert accel_module.numpy_available() is False
+        chunker = accel_module.best_gear_chunker(average_size=1024)
+        assert type(chunker) is GearChunker
+        with pytest.raises(ChunkingError, match="requires NumPy"):
+            accel_module.AcceleratedGearChunker(average_size=1024)
+
+    def test_registry_gear_falls_back_to_pure(self, monkeypatch):
+        monkeypatch.setattr(accel_module, "_np", None)
+        chunker = build_chunker("gear", average_size=1024)
+        assert type(chunker) is GearChunker
+        with pytest.raises(ChunkingError):
+            build_chunker("gear-accel", average_size=1024)
+
+    def test_forced_import_failure_falls_back(self):
+        # Import a *fresh copy* of the module with the numpy import blocked:
+        # it must import cleanly, report unavailability, and fall back to the
+        # pure scan.  The canonical module object is restored afterwards so
+        # class identities seen by the rest of the suite are untouched.
+        saved_numpy = sys.modules.get("numpy")
+        saved_accel = sys.modules["repro.chunking.accel"]
+        import repro.chunking as chunking_package
+
+        try:
+            sys.modules["numpy"] = None  # makes ``import numpy`` raise
+            del sys.modules["repro.chunking.accel"]
+            fresh = importlib.import_module("repro.chunking.accel")
+            assert fresh is not saved_accel
+            assert fresh.numpy_available() is False
+            chunker = fresh.best_gear_chunker(average_size=512)
+            assert type(chunker) is GearChunker
+            data = deterministic_bytes(20_000, seed=23)
+            expected = list(GearChunker(average_size=512).cut_offsets(data))
+            assert list(chunker.cut_offsets(data)) == expected
+            with pytest.raises(ChunkingError):
+                fresh.AcceleratedGearChunker(average_size=512)
+        finally:
+            if saved_numpy is not None:
+                sys.modules["numpy"] = saved_numpy
+            else:
+                sys.modules.pop("numpy", None)
+            sys.modules["repro.chunking.accel"] = saved_accel
+            chunking_package.accel = saved_accel
+        assert accel_module.numpy_available() is numpy_available()

@@ -4,25 +4,44 @@ import pytest
 
 from repro.chunking import (
     ALL_CHUNKERS,
+    AcceleratedGearChunker,
     ContentDefinedChunker,
     GearChunker,
     StaticChunker,
     TTTDChunker,
     build_chunker,
+    numpy_available,
 )
 from repro.core.framework import SigmaDedupe
 from repro.errors import ChunkingError
 
 
 class TestRegistry:
-    def test_all_four_schemes_registered(self):
-        assert set(ALL_CHUNKERS) == {"static", "cdc", "tttd", "gear"}
+    def test_all_schemes_registered(self):
+        assert set(ALL_CHUNKERS) == {
+            "static",
+            "cdc",
+            "tttd",
+            "gear",
+            "gear-accel",
+            "gear-pure",
+        }
 
     def test_build_by_name(self):
         assert isinstance(build_chunker("static"), StaticChunker)
         assert isinstance(build_chunker("cdc"), ContentDefinedChunker)
         assert isinstance(build_chunker("tttd"), TTTDChunker)
         assert isinstance(build_chunker("gear"), GearChunker)
+        assert isinstance(build_chunker("gear-pure"), GearChunker)
+        assert not isinstance(build_chunker("gear-pure"), AcceleratedGearChunker)
+
+    def test_gear_selects_accelerated_backend_when_numpy_present(self):
+        # ``"gear"`` must resolve to the fastest importable backend; the
+        # NumPy-absent side of this switch is covered in test_chunking_accel.
+        if not numpy_available():
+            pytest.skip("NumPy not importable in this environment")
+        assert isinstance(build_chunker("gear"), AcceleratedGearChunker)
+        assert isinstance(build_chunker("gear-accel"), AcceleratedGearChunker)
 
     def test_build_with_kwargs(self):
         chunker = build_chunker("gear", average_size=8192)

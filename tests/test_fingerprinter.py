@@ -83,6 +83,61 @@ class TestChunkRecord:
             record.length = 2
 
 
+class TestFusedBufferPath:
+    """The buffer form of fingerprint_blocks slices one shared memoryview."""
+
+    def test_bytearray_input_is_not_copied(self):
+        # A mutable buffer must flow through as a view: records produced
+        # before a mutation reflect the original bytes, and no bytes(data)
+        # whole-buffer copy is ever made (asserted indirectly: records after
+        # the mutation see the *new* bytes).
+        chunker = StaticChunker(256)
+        buffer = bytearray(deterministic_bytes(1024, seed=40))
+        fingerprinter = Fingerprinter("sha1")
+        iterator = fingerprinter.fingerprint_blocks(buffer, chunker)
+        first = next(iterator)
+        assert first.data == bytes(buffer[:256])
+        buffer[512:768] = b"\x00" * 256  # mutate a chunk not yet fingerprinted
+        records = [first] + list(iterator)
+        assert records[2].fingerprint == hashlib.sha1(b"\x00" * 256).digest()
+
+    def test_memoryview_input_matches_bytes_input(self):
+        data = deterministic_bytes(10_000, seed=41)
+        chunker = StaticChunker(512)
+        from_bytes = Fingerprinter("sha1").fingerprint_stream(data, chunker)
+        from_view = Fingerprinter("sha1").fingerprint_stream(memoryview(data), chunker)
+        assert [(r.fingerprint, r.length, r.offset, r.data) for r in from_view] == [
+            (r.fingerprint, r.length, r.offset, r.data) for r in from_bytes
+        ]
+
+    def test_records_carry_bytes_not_views(self):
+        # Downstream layers (container store, messages) require real bytes
+        # payloads even when the input was a mutable buffer.
+        records = Fingerprinter("sha1").fingerprint_stream(
+            bytearray(deterministic_bytes(2048, seed=42)), StaticChunker(512)
+        )
+        assert all(type(r.data) is bytes for r in records)
+
+    def test_counters_update_on_buffer_path(self):
+        fingerprinter = Fingerprinter("sha1")
+        list(fingerprinter.fingerprint_blocks(b"x" * 1000, StaticChunker(256)))
+        assert fingerprinter.chunks_fingerprinted == 4
+        assert fingerprinter.bytes_fingerprinted == 1000
+
+    def test_keep_data_false_keeps_fingerprints_correct(self):
+        data = deterministic_bytes(4096, seed=43)
+        records = Fingerprinter("sha1").fingerprint_stream(
+            data, StaticChunker(1024), keep_data=False
+        )
+        assert all(r.data is None for r in records)
+        assert [r.fingerprint for r in records] == [
+            hashlib.sha1(data[i:i + 1024]).digest() for i in range(0, 4096, 1024)
+        ]
+
+    def test_empty_buffer_yields_no_records(self):
+        assert Fingerprinter("sha1").fingerprint_stream(b"", StaticChunker(256)) == []
+
+
 class TestStreamingFingerprinting:
     def test_fingerprint_blocks_matches_oneshot(self):
         data = deterministic_bytes(10_000, seed=31)

@@ -5,7 +5,44 @@ import hashlib
 import pytest
 
 from repro.errors import FingerprintError
-from repro.utils.hashing import digest_bytes, digest_hex, digest_to_int, fingerprint_mod
+from repro.utils.hashing import (
+    SUPPORTED_ALGORITHMS,
+    digest_bytes,
+    digest_constructor,
+    digest_hex,
+    digest_to_int,
+    fingerprint_mod,
+)
+
+
+class TestDigestConstructor:
+    def test_matches_named_hashlib_constructor(self):
+        assert digest_constructor("sha1") is hashlib.sha1
+        assert digest_constructor("md5") is hashlib.md5
+        assert digest_constructor("sha256") is hashlib.sha256
+
+    def test_is_cached(self):
+        assert digest_constructor("sha1") is digest_constructor("sha1")
+
+    def test_every_supported_algorithm_resolves(self):
+        for algorithm in SUPPORTED_ALGORITHMS:
+            digest = digest_constructor(algorithm)(b"payload").digest()
+            assert digest == hashlib.new(algorithm, b"payload").digest()
+
+    def test_accepts_memoryview_payload(self):
+        buffer = bytearray(b"mutable-payload")
+        digest = digest_constructor("sha1")(memoryview(buffer)).digest()
+        assert digest == hashlib.sha1(bytes(buffer)).digest()
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(FingerprintError):
+            digest_constructor("crc32")
+
+    def test_unknown_algorithm_raises_every_call(self):
+        # The unsupported-algorithm error must not be cached away.
+        for _ in range(2):
+            with pytest.raises(FingerprintError):
+                digest_constructor("blake2b")
 
 
 class TestDigestBytes:
