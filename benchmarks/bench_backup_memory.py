@@ -16,6 +16,13 @@ Two measurements, both under :mod:`tracemalloc`:
   cluster.  Node storage dominates both modes equally, so the *difference*
   between buffered and streamed peaks exposes whether a whole-file buffer was
   assembled.  Asserted: streaming saves at least half the file size.
+* **spill-to-disk node store** -- the same streamed ingest against a cluster
+  whose nodes run the ``FileContainerBackend`` with small containers, so
+  sealed containers spill and evict their payloads as the backup proceeds.
+  Asserted: the spill-backend peak is a small fraction of the in-memory
+  backend's (which must hold every unique byte), and stays roughly flat as
+  the file quadruples -- only resident metadata (indexes, cache, recipes)
+  grows, not payload.
 
 Run directly (CI smoke check)::
 
@@ -26,18 +33,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import tracemalloc
-from typing import Callable, Iterable, List, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.chunking.fixed import StaticChunker
 from repro.cluster.client import BackupClient
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.core.partitioner import PartitionerConfig, StreamPartitioner
+from repro.node.dedupe_node import NodeConfig
 from repro.workloads.synthetic import SyntheticDataGenerator
 
 CHUNK_SIZE = 4096
 STREAM_BLOCK_SIZE = 16 * 1024
+SPILL_CONTAINER_CAPACITY = 128 * 1024
 
 
 def make_config(superchunk_size: int) -> PartitionerConfig:
@@ -93,6 +103,74 @@ def measure_client_peak(
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return peak
+
+
+def measure_spill_peak(
+    file_size: int,
+    superchunk_size: int,
+    container_backend: Optional[str] = None,
+    storage_dir: Optional[str] = None,
+) -> int:
+    """Peak traced bytes of a streamed backup against a small-container cluster."""
+    cluster = DedupeCluster(
+        num_nodes=2,
+        node_config=NodeConfig(container_capacity=SPILL_CONTAINER_CAPACITY),
+        container_backend=container_backend,
+        storage_dir=storage_dir,
+    )
+    client = BackupClient(
+        "bench-spill", cluster, Director(), partitioner_config=make_config(superchunk_size)
+    )
+    tracemalloc.start()
+    client.backup_files([("stream.bin", streamed_payload(file_size))])
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def run_spill(superchunk_size: int, small_multiple: int = 16, large_multiple: int = 64) -> List[List]:
+    """The spill-to-disk bound: node payload RAM stays flat, only metadata grows."""
+    small_file = small_multiple * superchunk_size
+    large_file = large_multiple * superchunk_size
+
+    memory_large = measure_spill_peak(large_file, superchunk_size)
+    with tempfile.TemporaryDirectory(prefix="bench-backup-spill-") as storage_dir:
+        spill_small = measure_spill_peak(
+            small_file, superchunk_size, "file", f"{storage_dir}/small"
+        )
+        spill_large = measure_spill_peak(
+            large_file, superchunk_size, "file", f"{storage_dir}/large"
+        )
+
+    rows = [
+        ["memory backend (node store resident)", large_file, memory_large,
+         round(memory_large / large_file, 3)],
+        [f"file backend {small_multiple}x superchunk", small_file, spill_small,
+         round(spill_small / small_file, 3)],
+        [f"file backend {large_multiple}x superchunk", large_file, spill_large,
+         round(spill_large / large_file, 3)],
+    ]
+
+    # The in-memory backend must keep every unique byte resident; the spill
+    # backend must not (sealed containers evict their payloads to disk).
+    assert memory_large >= large_file, (
+        f"in-memory node store peak {memory_large} below unique bytes {large_file}?"
+    )
+    assert spill_large <= memory_large / 2, (
+        f"spill-to-disk peak {spill_large} is not well below the in-memory "
+        f"backend's {memory_large}"
+    )
+    # Roughly flat: quadrupling the data may grow resident metadata (indexes,
+    # cache, recipes) but not payload, so the peak must grow far slower than
+    # the data (and stay well below it).
+    assert spill_large <= spill_small * 3, (
+        f"spill-backend peak grew with data size: {spill_small} -> {spill_large}"
+    )
+    assert spill_large <= large_file / 2, (
+        f"spill-backend peak {spill_large} is not well below the "
+        f"{large_file}-byte workload"
+    )
+    return rows
 
 
 def run(superchunk_size: int, small_multiple: int = 16, large_multiple: int = 64) -> List[List]:
@@ -158,12 +236,14 @@ def main(argv: "List[str] | None" = None) -> int:
     superchunk_size = 32 * 1024 if args.quick else 64 * 1024
 
     rows = run(superchunk_size)
+    rows += run_spill(superchunk_size)
     width = max(len(str(row[0])) for row in rows) + 2
     print(f"superchunk={superchunk_size} chunk={CHUNK_SIZE} block={STREAM_BLOCK_SIZE}")
     print(f"{'mode':<{width}}{'file bytes':>12}{'peak bytes':>14}{'peak/file':>11}")
     for row in rows:
         print(f"{str(row[0]):<{width}}{row[1]:>12}{row[2]:>14}{str(row[3]):>11}")
     print("ok: streamed ingest peak is O(superchunk) and independent of file size")
+    print("ok: spill-to-disk backend keeps node payload RAM flat")
     return 0
 
 

@@ -1,22 +1,30 @@
 """End-to-end ingest throughput: workload -> chunk -> fingerprint -> route -> store.
 
 Not a paper figure -- this harness records the repository's ingest
-performance trajectory and guards it in CI.  Three stages are measured, each
-in MB/s over the same synthetic payload, for the pure-Python gear scan and
-(when NumPy is importable) the vectorised one:
+performance trajectory and guards it in CI.  Four stages are measured, each
+in MB/s over the same synthetic payload:
 
 * **chunk_only** -- the boundary scan alone (``Chunker.cut_offsets``), the
-  historical pure-Python ceiling (~9 MB/s before vectorisation);
+  historical pure-Python ceiling (~9 MB/s before vectorisation), for the
+  pure-Python gear scan and (when NumPy is importable) the vectorised one;
 * **chunk_fingerprint** -- the fused chunk->fingerprint hot path
   (``Fingerprinter.fingerprint_blocks`` slicing one shared memoryview);
+* **node_path** -- the cluster data plane alone: pre-partitioned super-chunks
+  driven through routing + node dedupe + container store for two generations
+  (a unique ingest, then a full repeat backup), comparing the per-chunk seed
+  execution against the batched execution and the batched execution on the
+  spill-to-disk container backend;
 * **end_to_end** -- a full backup session against an in-memory cluster
   (``SigmaDedupe.backup``: partitioning, SHA-1, handprint routing, node
-  dedupe and container store).
+  dedupe and container store), plus ``end_to_end_perchunk`` /
+  ``end_to_end_spill`` rows for the seed node execution and the file-backend
+  variant of the same session.
 
 Results are printed and written to ``BENCH_ingest.json`` at the repository
 root so successive PRs accumulate comparable data points.  Asserted
-regressions (the CI smoke gate): the accelerated scan is >= 3x the pure scan
-and accelerated end-to-end ingest is >= 1.2x the pure end-to-end rate.
+regressions (the CI smoke gate): the accelerated scan is >= 3x the pure scan,
+accelerated end-to-end ingest is >= 1.2x the pure end-to-end rate, and the
+batched node path is >= 1.2x the seed per-chunk node path.
 
 Run directly::
 
@@ -30,21 +38,28 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.chunking.accel import AcceleratedGearChunker, numpy_available
 from repro.chunking.base import Chunker
 from repro.chunking.gear import GearChunker
+from repro.cluster.cluster import DedupeCluster
 from repro.core.framework import SigmaDedupe
+from repro.core.partitioner import PartitionerConfig, StreamPartitioner
 from repro.fingerprint.fingerprinter import Fingerprinter
+from repro.node.dedupe_node import NodeConfig
 from repro.workloads.synthetic import SyntheticDataGenerator
 
 AVERAGE_CHUNK_SIZE = 4096
 SUPERCHUNK_SIZE = 256 * 1024
 NUM_NODES = 4
 NUM_FILES = 4
+# Best-of-5: the 1.2x batched-vs-per-chunk gate needs a noise-resistant
+# baseline on shared CI runners (locally the ratio sits around 1.3x).
+NODE_PATH_REPEATS = 5
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
 
@@ -60,6 +75,12 @@ def gear_backends() -> List[Tuple[str, Callable[[], Chunker]]]:
             ("gear-accel", lambda: AcceleratedGearChunker(average_size=AVERAGE_CHUNK_SIZE))
         )
     return backends
+
+
+def best_chunker() -> Chunker:
+    """The fastest available gear scan (for the node-path measurement)."""
+    name, factory = gear_backends()[-1]
+    return factory()
 
 
 def _mbps(num_bytes: int, elapsed: float) -> float:
@@ -84,12 +105,41 @@ def measure_chunk_fingerprint(chunker: Chunker, data: bytes) -> float:
     return _mbps(len(data), elapsed)
 
 
-def measure_end_to_end(chunker: Chunker, files: List[Tuple[str, bytes]]) -> float:
+def measure_node_path(
+    superchunks: List, logical_bytes: int, node_config: NodeConfig,
+    storage_dir: Optional[str] = None,
+) -> float:
+    """Cluster data plane MB/s: two generations (unique then repeat) through
+    routing + node dedupe + container store, best of NODE_PATH_REPEATS."""
+    best = 0.0
+    for _ in range(NODE_PATH_REPEATS):
+        cluster = DedupeCluster(
+            num_nodes=NUM_NODES, node_config=node_config, storage_dir=storage_dir,
+            container_backend="file" if storage_dir else None,
+        )
+        start = time.perf_counter()
+        for _generation in range(2):
+            for superchunk in superchunks:
+                cluster.backup_superchunk(superchunk)
+            cluster.flush()
+        elapsed = time.perf_counter() - start
+        best = max(best, _mbps(2 * logical_bytes, elapsed))
+    return best
+
+
+def measure_end_to_end(
+    chunker: Chunker,
+    files: List[Tuple[str, bytes]],
+    batch_execution: bool = True,
+    storage_dir: Optional[str] = None,
+) -> float:
     framework = SigmaDedupe(
         num_nodes=NUM_NODES,
         routing="sigma",
         chunker=chunker,
         superchunk_size=SUPERCHUNK_SIZE,
+        node_config=NodeConfig(batch_execution=batch_execution),
+        storage_dir=storage_dir,
     )
     logical = sum(len(data) for _, data in files)
     start = time.perf_counter()
@@ -112,6 +162,7 @@ def run(scale: str) -> Dict:
     results: Dict[str, Dict[str, float]] = {
         "chunk_only": {},
         "chunk_fingerprint": {},
+        "node_path": {},
         "end_to_end": {},
     }
     for name, factory in gear_backends():
@@ -121,8 +172,66 @@ def run(scale: str) -> Dict:
         )
         results["end_to_end"][name] = round(measure_end_to_end(factory(), files), 2)
 
+    # The node-path rows: identical pre-partitioned super-chunks driven
+    # through every execution mode / container backend of the cluster plane.
+    partitioner = StreamPartitioner(
+        PartitionerConfig(
+            chunker=best_chunker(), superchunk_size=SUPERCHUNK_SIZE, handprint_size=8
+        )
+    )
+    superchunks = [
+        superchunk
+        for superchunk, _contributions in partitioner.partition_files(
+            [("ingest/node-path.bin", data)]
+        )
+        if superchunk is not None
+    ]
+    logical = sum(superchunk.logical_size for superchunk in superchunks)
+    results["node_path"]["per-chunk"] = round(
+        measure_node_path(superchunks, logical, NodeConfig(batch_execution=False)), 2
+    )
+    results["node_path"]["batched"] = round(
+        measure_node_path(superchunks, logical, NodeConfig(batch_execution=True)), 2
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-spill-") as spill_dir:
+        results["node_path"]["batched-spill"] = round(
+            measure_node_path(
+                superchunks, logical, NodeConfig(batch_execution=True), storage_dir=spill_dir
+            ),
+            2,
+        )
+
+        # End-to-end variants of the same session on the best chunker: the
+        # seed per-chunk node execution and the spill-to-disk backend.
+        chunker_name = gear_backends()[-1][0]
+        results["end_to_end_perchunk"] = {
+            chunker_name: round(
+                measure_end_to_end(best_chunker(), files, batch_execution=False), 2
+            )
+        }
+        results["end_to_end_spill"] = {
+            chunker_name: round(
+                measure_end_to_end(
+                    best_chunker(), files, storage_dir=str(Path(spill_dir) / "e2e")
+                ),
+                2,
+            )
+        }
+
+    # The CI smoke gates: a chunking, ingest or node-plane regression fails
+    # the build.  At smoke scale the batched/per-chunk ratio has comfortable
+    # headroom (~1.5x measured); the bigger full-scale payload spends
+    # proportionally more time in shared memcpy/page-fault work, squeezing
+    # the measured ratio toward ~1.25x, so the full run gates at 1.1x to
+    # stay noise-resistant while still catching real regressions.
+    node_gate = 1.2 if scale == "smoke" else 1.1
+    node_per_chunk = results["node_path"]["per-chunk"]
+    node_batched = results["node_path"]["batched"]
+    assert node_batched >= node_per_chunk * node_gate, (
+        f"batched node path regressed: {node_batched} MB/s vs per-chunk "
+        f"{node_per_chunk} MB/s (< {node_gate}x)"
+    )
     if numpy_available():
-        # The CI smoke gate: a chunking or ingest regression fails the build.
         chunk_pure = results["chunk_only"]["gear-pure"]
         chunk_accel = results["chunk_only"]["gear-accel"]
         assert chunk_accel >= chunk_pure * 3, (
@@ -140,7 +249,7 @@ def run(scale: str) -> Dict:
     except ImportError:
         numpy_version = None
     return {
-        "schema": "bench-ingest-v1",
+        "schema": "bench-ingest-v2",
         "generated_by": "benchmarks/bench_ingest_throughput.py",
         "config": {
             "scale": scale,
@@ -151,6 +260,8 @@ def run(scale: str) -> Dict:
             "num_nodes": NUM_NODES,
             "routing": "sigma",
             "fingerprint_algorithm": "sha1",
+            "node_path_generations": 2,
+            "node_path_repeats": NODE_PATH_REPEATS,
             "python": platform.python_version(),
             "numpy": numpy_version,
         },
@@ -174,11 +285,10 @@ def main(argv: "List[str] | None" = None) -> int:
     document = run("smoke" if args.smoke else "full")
 
     results = document["results_mb_per_s"]
-    backends = list(results["chunk_only"])
     print(f"ingest throughput (MB/s), {document['config']['data_bytes']} bytes:")
-    print(f"{'stage':<20}" + "".join(f"{name:>14}" for name in backends))
     for stage, by_backend in results.items():
-        print(f"{stage:<20}" + "".join(f"{by_backend[name]:>14}" for name in backends))
+        columns = "".join(f"  {name}={value}" for name, value in by_backend.items())
+        print(f"{stage:<20}{columns}")
     if not numpy_available():
         print("(NumPy not importable: accelerated backend skipped)")
 

@@ -12,6 +12,11 @@ name, e.g.::
     python examples/quickstart.py                            # paper defaults
     python examples/quickstart.py --chunker gear             # FastCDC-style
     python examples/quickstart.py --chunker cdc --routing stateless
+
+Container storage is pluggable: pass ``--storage-dir DIR`` to spill sealed
+containers' data sections to files under ``DIR`` (one ``node-<id>``
+subdirectory per node) instead of keeping them in RAM -- restores then reload
+the spill files transparently.
 """
 
 from __future__ import annotations
@@ -58,13 +63,24 @@ def main() -> None:
         default="sigma",
         help="data routing scheme (default: sigma)",
     )
+    parser.add_argument(
+        "--storage-dir",
+        default=None,
+        metavar="DIR",
+        help="spill sealed containers to files under DIR (default: in-memory "
+        "containers, the paper's RAM-file-system setup)",
+    )
     args = parser.parse_args()
 
     chunker = build_chunker(args.chunker)
-    framework = SigmaDedupe(num_nodes=4, routing=args.routing, chunker=chunker)
+    framework = SigmaDedupe(
+        num_nodes=4, routing=args.routing, chunker=chunker, storage_dir=args.storage_dir
+    )
     print(f"chunking scheme      : {args.chunker} "
           f"(~{format_bytes(chunker.average_chunk_size)} chunks)")
     print(f"routing scheme       : {args.routing}")
+    print(f"container storage    : "
+          f"{'spill-to-disk at ' + args.storage_dir if args.storage_dir else 'in-memory'}")
 
     print("\n=== Day 1: initial full backup ===")
     day1_files = make_files()

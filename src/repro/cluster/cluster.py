@@ -9,6 +9,7 @@ counts).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.message import MessageCounter, MessageType
@@ -17,7 +18,7 @@ from repro.errors import NodeNotFoundError
 from repro.node.dedupe_node import DedupeNode, NodeConfig, SuperChunkBackupResult
 from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
 from repro.routing.sigma import SigmaRouting
-from repro.utils.stats import mean, population_stddev
+from repro.utils.stats import count_matched_occurrences, mean, population_stddev
 
 
 class DedupeCluster(ClusterView):
@@ -31,6 +32,11 @@ class DedupeCluster(ClusterView):
         Configuration applied to every node.
     routing_scheme:
         The inter-node data routing scheme (defaults to Sigma-Dedupe routing).
+    container_backend / storage_dir:
+        Convenience overrides threaded into ``node_config``: the registered
+        container backend name each node stores sealed containers with, and
+        the directory disk-backed backends write under (each node claims its
+        own ``node-<id>`` subdirectory).
     """
 
     def __init__(
@@ -38,9 +44,21 @@ class DedupeCluster(ClusterView):
         num_nodes: int,
         node_config: Optional[NodeConfig] = None,
         routing_scheme: Optional[RoutingScheme] = None,
+        container_backend: Optional[str] = None,
+        storage_dir: Optional[str] = None,
     ):
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        overrides = {
+            key: value
+            for key, value in (
+                ("container_backend", container_backend),
+                ("storage_dir", storage_dir),
+            )
+            if value is not None
+        }
+        if overrides:
+            node_config = replace(node_config or NodeConfig(), **overrides)
         self._nodes: List[DedupeNode] = [
             DedupeNode(node_id, config=node_config) for node_id in range(num_nodes)
         ]
@@ -71,16 +89,22 @@ class DedupeCluster(ClusterView):
         return self.node(node_id).resemblance_query(handprint)
 
     def sample_match_count(self, node_id: int, fingerprints: Sequence[bytes]) -> int:
+        # Routing probes are read-only set intersections: peek-style batch
+        # lookups, so neither cache hit/miss statistics nor LRU recency are
+        # polluted, and a sample costs two dict-view operations instead of a
+        # probe per fingerprint.  Message accounting is unchanged (the caller
+        # records the sample broadcast, as before).
         node = self.node(node_id)
-        count = 0
-        for fingerprint in fingerprints:
-            # Routing probes are read-only: peek so that neither cache
-            # hit/miss statistics nor LRU recency are polluted.
-            if node.disk_index.enabled and fingerprint in node.disk_index:
-                count += 1
-            elif node.fingerprint_cache.peek(fingerprint) is not None:
-                count += 1
-        return count
+        if not isinstance(fingerprints, (list, tuple)):
+            fingerprints = list(fingerprints)
+        distinct = set(fingerprints)
+        matched = node.disk_index.peek_many(distinct)
+        remaining = distinct - matched
+        if remaining:
+            matched |= node.fingerprint_cache.peek_many(remaining)
+        # Samples are normally distinct, but mirror the historical contract:
+        # every occurrence of a matched fingerprint counts.
+        return count_matched_occurrences(fingerprints, distinct, matched)
 
     # ------------------------------------------------------------------ #
     # backup path

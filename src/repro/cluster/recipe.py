@@ -8,14 +8,17 @@ fingerprints and all other information required to reconstruct the file."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.errors import RecipeError
 
 
-@dataclass(frozen=True)
-class ChunkLocation:
-    """Where one chunk of a file lives in the cluster."""
+class ChunkLocation(NamedTuple):
+    """Where one chunk of a file lives in the cluster.
+
+    A named tuple: the backup client materialises one location per chunk per
+    file recipe, so construction cost sits on the ingest hot path.
+    """
 
     fingerprint: bytes
     length: int

@@ -71,6 +71,14 @@ class SigmaDedupe:
         Routing-granularity parameters (paper defaults: 1 MB and 8).
     node_config:
         Per-node structural configuration.
+    container_backend / storage_dir:
+        Container storage backend selection, threaded into every node's
+        config: ``container_backend`` is a registered backend name
+        (``"memory"`` keeps sealed containers resident, the default;
+        ``"file"`` spills their data sections to disk and keeps RAM bounded),
+        ``storage_dir`` is where disk-backed backends write (one ``node-<id>``
+        subdirectory per node).  Passing only ``storage_dir`` implies the
+        ``"file"`` backend.
     """
 
     def __init__(
@@ -82,6 +90,8 @@ class SigmaDedupe:
         handprint_size: int = DEFAULT_HANDPRINT_SIZE,
         node_config: Optional[NodeConfig] = None,
         fingerprint_algorithm: str = "sha1",
+        container_backend: Optional[str] = None,
+        storage_dir: Optional[str] = None,
     ):
         if isinstance(routing, str):
             try:
@@ -94,8 +104,14 @@ class SigmaDedupe:
             routing_scheme = routing
         if isinstance(chunker, str):
             chunker = build_chunker(chunker)
+        # Backend inference (storage_dir alone implies "file") lives in one
+        # place -- DedupeNode -- so every entry point resolves identically.
         self.cluster = DedupeCluster(
-            num_nodes=num_nodes, node_config=node_config, routing_scheme=routing_scheme
+            num_nodes=num_nodes,
+            node_config=node_config,
+            routing_scheme=routing_scheme,
+            container_backend=container_backend,
+            storage_dir=storage_dir,
         )
         self.director = Director()
         self.restore_manager = RestoreManager(self.cluster, self.director)

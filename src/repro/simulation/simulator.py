@@ -25,6 +25,7 @@ from repro.metrics.dedup import (
 )
 from repro.metrics.skew import StorageSkew, storage_skew
 from repro.routing.base import ClusterView, RoutingScheme
+from repro.utils.stats import count_matched_occurrences
 from repro.workloads.trace import TraceChunk, TraceSnapshot
 
 
@@ -47,8 +48,17 @@ class SimulatedNode:
         return sum(1 for fp in handprint if fp in self.similarity_fingerprints)
 
     def sample_match_count(self, fingerprints: Sequence[bytes]) -> int:
-        """How many of the sampled chunk fingerprints this node already stores."""
-        return sum(1 for fp in fingerprints if fp in self.chunk_fingerprints)
+        """How many of the sampled chunk fingerprints this node already stores.
+
+        A set intersection rather than a per-fingerprint probe; duplicate
+        occurrences in the sample still each count, as before.
+        """
+        if not isinstance(fingerprints, (list, tuple)):
+            fingerprints = list(fingerprints)
+        distinct = set(fingerprints)
+        return count_matched_occurrences(
+            fingerprints, distinct, distinct & self.chunk_fingerprints
+        )
 
     def backup_unit(self, chunks: Iterable[TraceChunk], handprint=None) -> None:
         """Exact intra-node deduplication of one routed unit."""
@@ -156,6 +166,12 @@ class SimulationResult:
 
 class ClusterSimulator(ClusterView):
     """Simulate one routing scheme over one materialised trace.
+
+    Simulated nodes are fingerprint-only (no chunk payloads, hence no
+    container store): container backend selection does not apply here, and
+    routing probes (:meth:`sample_match_count`) run as set intersections
+    against each node's fingerprint set, mirroring the full cluster's batched
+    data plane.
 
     Parameters
     ----------

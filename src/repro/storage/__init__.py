@@ -15,8 +15,18 @@ Implements the data structures of Figure 3 of the paper:
   cache of per-container fingerprint sets, prefetched a container at a time.
 * :class:`~repro.storage.chunk_index.DiskChunkIndex` -- the traditional
   full on-disk chunk index consulted only when the cache misses.
+* :mod:`~repro.storage.backends` -- pluggable backends deciding where sealed
+  containers' data sections live: resident in RAM (default) or spilled to
+  disk files with only metadata kept resident.
 """
 
+from repro.storage.backends import (
+    CONTAINER_BACKENDS,
+    ContainerBackend,
+    FileContainerBackend,
+    InMemoryBackend,
+    build_container_backend,
+)
 from repro.storage.container import Container, ContainerMetadataEntry
 from repro.storage.container_store import ContainerStore
 from repro.storage.chunk_index import DiskChunkIndex
@@ -24,10 +34,15 @@ from repro.storage.fingerprint_cache import ChunkFingerprintCache
 from repro.storage.similarity_index import SimilarityIndex
 
 __all__ = [
+    "CONTAINER_BACKENDS",
     "Container",
+    "ContainerBackend",
     "ContainerMetadataEntry",
     "ContainerStore",
     "DiskChunkIndex",
     "ChunkFingerprintCache",
+    "FileContainerBackend",
+    "InMemoryBackend",
     "SimilarityIndex",
+    "build_container_backend",
 ]

@@ -1,0 +1,157 @@
+"""Pluggable container storage backends.
+
+The :class:`~repro.storage.container_store.ContainerStore` decides *when* a
+container seals; a :class:`ContainerBackend` decides *where* the sealed data
+section lives:
+
+* :class:`InMemoryBackend` (default) keeps every payload resident, matching
+  the paper's RAM-file-system evaluation setup.
+* :class:`FileContainerBackend` writes each sealed container's data section to
+  a file under ``storage_dir`` and evicts the payload from RAM.  Metadata
+  (fingerprints, offsets, lengths) stays resident, so fingerprint prefetching
+  still costs no payload I/O, while reads reload the spill file -- counted as
+  container I/O by the store, exactly like every other container read.  With
+  this backend the node's total footprint is bounded by the open containers
+  plus indexes, not by the stored data.
+
+Backends are selected by registered name through
+:func:`build_container_backend`, via ``NodeConfig.container_backend`` /
+``SigmaDedupe(container_backend=..., storage_dir=...)`` or the
+``REPRO_CONTAINER_BACKEND`` environment variable (used by the CI leg that runs
+the whole test suite on the spill-to-disk backend).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.errors import ContainerNotFoundError, StorageError
+from repro.storage.container import Container
+
+ENV_CONTAINER_BACKEND = "REPRO_CONTAINER_BACKEND"
+"""Environment variable naming the default container backend for nodes."""
+
+
+class ContainerBackend(ABC):
+    """Where sealed containers' data sections live."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def on_seal(self, container: Container) -> None:
+        """Called by the store right after ``container`` seals (one container
+        write has already been accounted); may persist and evict the payload."""
+
+    def close(self) -> None:
+        """Release backend resources (temporary directories, open files)."""
+
+
+class InMemoryBackend(ContainerBackend):
+    """Keep every container payload resident in RAM (the seed behavior).
+
+    ``storage_dir`` is accepted (and ignored) so every registered backend
+    shares one construction signature and callers can thread the knob
+    unconditionally.
+    """
+
+    name = "memory"
+
+    def __init__(self, storage_dir: "str | Path | None" = None):
+        pass
+
+    def on_seal(self, container: Container) -> None:
+        pass
+
+
+class FileContainerBackend(ContainerBackend):
+    """Spill sealed containers' data sections to files and evict them from RAM.
+
+    Parameters
+    ----------
+    storage_dir:
+        Directory receiving one ``container-<id>.cdata`` file per sealed
+        container.  When omitted, a private temporary directory is created and
+        removed when the backend is garbage-collected or closed.
+    """
+
+    name = "file"
+
+    def __init__(self, storage_dir: "str | Path | None" = None):
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if storage_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-containers-")
+            storage_dir = self._tmpdir.name
+        self.storage_dir = Path(storage_dir)
+        self.storage_dir.mkdir(parents=True, exist_ok=True)
+        self.spilled_containers = 0
+        self.spilled_bytes = 0
+        # One-slot read buffer: consecutive chunk reads from the same sealed
+        # container (the common restore pattern) reload its file only once
+        # while keeping resident payload bounded to a single container.
+        self._last_loaded: "tuple[int, bytes] | None" = None
+
+    def spill_path(self, container_id: int) -> Path:
+        """The spill file holding ``container_id``'s data section."""
+        return self.storage_dir / f"container-{container_id:08d}.cdata"
+
+    def on_seal(self, container: Container) -> None:
+        payload = container.payload_bytes()
+        self.spill_path(container.container_id).write_bytes(payload)
+        self.spilled_containers += 1
+        self.spilled_bytes += len(payload)
+        container.evict_payload(self._load)
+
+    def _load(self, container: Container) -> bytes:
+        cached = self._last_loaded
+        if cached is not None and cached[0] == container.container_id:
+            return cached[1]
+        path = self.spill_path(container.container_id)
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise ContainerNotFoundError(
+                f"spill file for container {container.container_id} is missing "
+                f"or unreadable: {path}"
+            ) from exc
+        if len(payload) != container.used:
+            raise ContainerNotFoundError(
+                f"spill file for container {container.container_id} is truncated: "
+                f"expected {container.used} bytes, found {len(payload)} ({path})"
+            )
+        self._last_loaded = (container.container_id, payload)
+        return payload
+
+    def close(self) -> None:
+        self._last_loaded = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+
+CONTAINER_BACKENDS: Dict[str, Callable[..., ContainerBackend]] = {
+    InMemoryBackend.name: InMemoryBackend,
+    FileContainerBackend.name: FileContainerBackend,
+}
+"""Registry of container backend constructors by name."""
+
+
+def build_container_backend(
+    name: str, storage_dir: "str | Path | None" = None
+) -> ContainerBackend:
+    """Instantiate a registered container backend by name.
+
+    Every registered factory is called as ``factory(storage_dir=...)``;
+    backends that need no directory (the in-memory one, or third-party
+    registrations) simply ignore it.
+    """
+    try:
+        factory = CONTAINER_BACKENDS[name]
+    except KeyError:
+        raise StorageError(
+            f"unknown container backend {name!r}; expected one of "
+            f"{sorted(CONTAINER_BACKENDS)}"
+        ) from None
+    return factory(storage_dir=storage_dir)

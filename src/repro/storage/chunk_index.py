@@ -13,7 +13,7 @@ similarity index + fingerprint cache are designed to avoid.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 
 class DiskChunkIndex:
@@ -61,6 +61,53 @@ class DiskChunkIndex:
             return None
         return self._index.get(fingerprint)
 
+    def lookup_many(self, fingerprints: Sequence[bytes]) -> Dict[bytes, int]:
+        """Batched lookup of *distinct* fingerprints: ``fingerprint ->
+        container id`` for every hit.
+
+        One dict-view pass instead of per-fingerprint calls; for distinct
+        inputs the counters advance exactly as ``len(fingerprints)``
+        :meth:`lookup` calls would (a repeated fingerprint would count every
+        occurrence as a lookup but only one as a hit).
+        """
+        self.lookups += len(fingerprints)
+        if not self.enabled:
+            return {}
+        index = self._index
+        found = {fp: index[fp] for fp in fingerprints if fp in index}
+        self.lookup_hits += len(found)
+        return found
+
+    def match_batch(self, fingerprints: Iterable[bytes]) -> Dict[bytes, int]:
+        """Counter-free ``fingerprint -> container id`` map for batch execution.
+
+        The batched node data plane resolves the whole super-chunk against
+        this snapshot and then accounts only the lookups it would actually
+        have issued (cache misses) via :meth:`record_lookups`, keeping the
+        simulated-I/O statistics identical to the per-chunk path.
+        """
+        if not self.enabled:
+            return {}
+        index = self._index
+        return {fp: index[fp] for fp in fingerprints if fp in index}
+
+    def peek_many(self, fingerprints: Iterable[bytes]) -> Set[bytes]:
+        """The subset of ``fingerprints`` present, as a set-intersection probe.
+
+        Counter-free, like :meth:`peek`: routing samples and other read-only
+        probes must not pollute the lookup/hit statistics.
+        """
+        if not self.enabled:
+            return set()
+        if not isinstance(fingerprints, (set, frozenset)):
+            fingerprints = set(fingerprints)
+        return self._index.keys() & fingerprints
+
+    def record_lookups(self, lookups: int, hits: int) -> None:
+        """Account a batch of simulated index lookups in bulk."""
+        self.lookups += lookups
+        self.lookup_hits += hits
+
     def insert(self, fingerprint: bytes, container_id: int) -> None:
         """Record that ``fingerprint`` is stored in ``container_id``."""
         if not self.enabled:
@@ -71,6 +118,14 @@ class DiskChunkIndex:
     def insert_many(self, fingerprints: Iterable[bytes], container_id: int) -> None:
         for fingerprint in fingerprints:
             self.insert(fingerprint, container_id)
+
+    def insert_batch(self, items: Iterable[Tuple[bytes, int]]) -> None:
+        """Insert many ``(fingerprint, container id)`` pairs in one dict update."""
+        if not self.enabled:
+            return
+        pairs = items if isinstance(items, dict) else dict(items)
+        self._index.update(pairs)
+        self.inserts += len(pairs)
 
     @property
     def size_in_bytes(self) -> int:

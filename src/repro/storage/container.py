@@ -5,18 +5,28 @@ locality ... that includes a data section to store data chunks and a metadata
 section to store their metadata information, such as chunk fingerprint, offset
 and length." (paper Section 3.3)
 
-Containers in this reproduction live in memory (the evaluation uses a RAM file
-system anyway) but keep the same structure and are only ever read or written
-as whole units, so disk-access accounting done at container granularity is
-faithful to the paper's design.
+Where a container's data section lives is a backend decision (see
+:mod:`repro.storage.backends`): the default in-memory backend keeps it resident
+(the evaluation uses a RAM file system anyway), while the spill-to-disk backend
+evicts the payload of sealed containers to a file and reloads it on demand.
+Either way containers are only ever read or written as whole units, so
+disk-access accounting done at container granularity is faithful to the
+paper's design.  The metadata section always stays resident.
+
+A resident data section is held as the list of (immutable) chunk payloads in
+append order rather than one contiguous buffer: appending a batch of unique
+chunks then costs no memcpy at all, and the contiguous form is materialised
+only when a backend actually writes the container out
+(:meth:`Container.payload_bytes`).  The metadata offsets always describe the
+contiguous layout, so the spilled file and the resident view stay coherent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
-from repro.errors import ContainerFullError
+from repro.errors import ContainerFullError, ContainerNotFoundError, StorageError
 from repro.fingerprint.fingerprinter import ChunkRecord
 
 DEFAULT_CONTAINER_CAPACITY = 4 * 1024 * 1024
@@ -24,9 +34,13 @@ DEFAULT_CONTAINER_CAPACITY = 4 * 1024 * 1024
 container-based dedup stores such as DDFS)."""
 
 
-@dataclass(frozen=True)
-class ContainerMetadataEntry:
-    """One row of a container's metadata section."""
+class ContainerMetadataEntry(NamedTuple):
+    """One row of a container's metadata section.
+
+    A named tuple rather than a dataclass: one entry is created per stored
+    chunk, squarely on the batched-append hot path, and the C-level tuple
+    constructor is several times cheaper than a frozen dataclass ``__init__``.
+    """
 
     fingerprint: bytes
     offset: int
@@ -52,27 +66,46 @@ class Container:
     capacity: int = DEFAULT_CONTAINER_CAPACITY
     stream_id: int = 0
     sealed: bool = False
-    _data: bytearray = field(default_factory=bytearray, repr=False)
+    _parts: Optional[List[bytes]] = field(default_factory=list, repr=False)
     _metadata: List[ContainerMetadataEntry] = field(default_factory=list, repr=False)
-    _offsets: Dict[bytes, ContainerMetadataEntry] = field(default_factory=dict, repr=False)
+    _index_of: Dict[bytes, int] = field(default_factory=dict, repr=False)
+    _used: int = field(default=0, repr=False)
+    _loader: Optional[Callable[["Container"], bytes]] = field(default=None, repr=False)
 
     @property
     def used(self) -> int:
-        """Bytes currently used in the data section."""
-        return len(self._data)
+        """Bytes currently used in the data section (tracked O(1), valid even
+        after the payload has been evicted to a backend)."""
+        return self._used
 
     @property
     def free(self) -> int:
         """Bytes still available in the data section."""
-        return self.capacity - len(self._data)
+        return self.capacity - self._used
 
     @property
     def chunk_count(self) -> int:
         return len(self._metadata)
 
+    @property
+    def payload_resident(self) -> bool:
+        """Whether the data section is currently held in RAM."""
+        return self._parts is not None
+
     def has_room_for(self, length: int) -> bool:
         """Whether a chunk of ``length`` bytes fits in the remaining space."""
         return not self.sealed and length <= self.free
+
+    @staticmethod
+    def _payload_of(chunk: ChunkRecord) -> bytes:
+        data = chunk.data
+        if data is None:
+            # Fingerprint-only traces carry no payload; account the space so
+            # physical-capacity statistics stay correct.
+            return b"\x00" * chunk.length
+        # Immutable payloads are stored by reference (zero-copy); anything
+        # mutable (bytearray, memoryview) is snapshotted.
+        return data if type(data) is bytes else bytes(data)
 
     def append(self, chunk: ChunkRecord) -> ContainerMetadataEntry:
         """Append a unique chunk; returns the metadata entry recorded for it.
@@ -91,32 +124,96 @@ class Container:
             )
         entry = ContainerMetadataEntry(
             fingerprint=chunk.fingerprint,
-            offset=len(self._data),
+            offset=self._used,
             length=chunk.length,
         )
-        if chunk.data is not None:
-            self._data.extend(chunk.data)
-        else:
-            # Fingerprint-only traces carry no payload; account the space so
-            # physical-capacity statistics stay correct.
-            self._data.extend(b"\x00" * chunk.length)
+        self._index_of[chunk.fingerprint] = len(self._metadata)
         self._metadata.append(entry)
-        self._offsets[chunk.fingerprint] = entry
+        self._parts.append(self._payload_of(chunk))
+        self._used += chunk.length
         return entry
+
+    def append_many(self, chunks: List[ChunkRecord]) -> None:
+        """Append a run of chunks known to fit, in one pass.
+
+        Equivalent to per-chunk :meth:`append` calls (same metadata rows and
+        contiguous layout) -- the batched append of ``store_chunks``.
+        """
+        if self.sealed:
+            raise ContainerFullError(f"container {self.container_id} is sealed")
+        total = sum(chunk.length for chunk in chunks)
+        if total > self.free:
+            raise ContainerFullError(
+                f"container {self.container_id} has {self.free} bytes free, "
+                f"batch needs {total}"
+            )
+        offset = self._used
+        metadata = self._metadata
+        parts = self._parts
+        index_of = self._index_of
+        payload_of = self._payload_of
+        position = len(metadata)
+        for chunk in chunks:
+            length = chunk.length
+            metadata.append(
+                ContainerMetadataEntry(
+                    fingerprint=chunk.fingerprint, offset=offset, length=length
+                )
+            )
+            parts.append(payload_of(chunk))
+            index_of[chunk.fingerprint] = position
+            position += 1
+            offset += length
+        self._used = offset
 
     def seal(self) -> None:
         """Mark the container immutable (it is now a candidate for prefetching only)."""
         self.sealed = True
 
+    def evict_payload(self, loader: Callable[["Container"], bytes]) -> None:
+        """Drop the in-RAM data section, reloading through ``loader`` on reads.
+
+        Only sealed (immutable) containers may be evicted; the metadata
+        section stays resident so fingerprint prefetching needs no payload I/O.
+        """
+        if not self.sealed:
+            # A lifecycle violation, not a capacity condition: callers
+            # handling ContainerFullError as "no room" must not catch this.
+            raise StorageError(
+                f"container {self.container_id} must be sealed before its "
+                "payload can be evicted"
+            )
+        self._loader = loader
+        self._parts = None
+
+    def payload_bytes(self) -> bytes:
+        """The whole data section in its contiguous on-disk layout (loading it
+        back if evicted)."""
+        # Read _parts once: a concurrent seal+evict may null it between a
+        # check and a use, and the loader path below handles that correctly.
+        parts = self._parts
+        if parts is not None:
+            return b"".join(parts)
+        if self._loader is None:
+            raise ContainerNotFoundError(
+                f"container {self.container_id} payload was evicted with no loader"
+            )
+        return self._loader(self)
+
     def contains(self, fingerprint: bytes) -> bool:
-        return fingerprint in self._offsets
+        return fingerprint in self._index_of
 
     def read_chunk(self, fingerprint: bytes) -> Optional[bytes]:
         """Return the payload of a chunk stored in this container, or ``None``."""
-        entry = self._offsets.get(fingerprint)
-        if entry is None:
+        position = self._index_of.get(fingerprint)
+        if position is None:
             return None
-        return bytes(self._data[entry.offset:entry.offset + entry.length])
+        parts = self._parts
+        if parts is not None:
+            return parts[position]
+        entry = self._metadata[position]
+        payload = self.payload_bytes()
+        return payload[entry.offset:entry.offset + entry.length]
 
     def metadata_section(self) -> List[ContainerMetadataEntry]:
         """The metadata section (copied), what a prefetch reads from disk."""

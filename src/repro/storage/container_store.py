@@ -11,10 +11,11 @@ All disk accesses are performed at the granularity of a container."
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ContainerNotFoundError
 from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.storage.backends import ContainerBackend, InMemoryBackend
 from repro.storage.container import Container, DEFAULT_CONTAINER_CAPACITY
 
 
@@ -22,36 +23,71 @@ class ContainerStore:
     """Holds every container of one deduplication node.
 
     A dedicated open container is kept per data stream; appending a chunk that
-    does not fit seals the open container and opens a new one.  Disk reads and
-    writes are counted at container granularity through the ``container_reads``
-    and ``container_writes`` counters, which the simulator uses as its model of
-    disk I/O cost.
+    does not fit seals the open container and opens a new one.  A chunk larger
+    than the configured capacity goes to a dedicated oversize container that is
+    sealed immediately (one container write) without disturbing the stream's
+    open container.  Disk reads and writes are counted at container granularity
+    through the ``container_reads`` and ``container_writes`` counters, which
+    the simulator uses as its model of disk I/O cost.
+
+    Where sealed containers' data sections live is delegated to a
+    :class:`~repro.storage.backends.ContainerBackend`; the default keeps them
+    in RAM, the file backend spills them to disk and evicts the payload.
     """
 
-    def __init__(self, container_capacity: int = DEFAULT_CONTAINER_CAPACITY):
+    def __init__(
+        self,
+        container_capacity: int = DEFAULT_CONTAINER_CAPACITY,
+        backend: Optional[ContainerBackend] = None,
+    ):
         if container_capacity < 1:
             raise ValueError("container_capacity must be positive")
         self.container_capacity = container_capacity
+        self.backend = backend or InMemoryBackend()
         self._containers: Dict[int, Container] = {}
         self._open_by_stream: Dict[int, Container] = {}
         self._next_id = 0
         self._lock = threading.Lock()
         self.container_reads = 0
         self.container_writes = 0
+        # Running totals so storage_usage probes (consulted by sigma routing
+        # for every candidate on every super-chunk) stay O(1) instead of
+        # O(#containers).
+        self._stored_bytes = 0
+        self._stored_chunks = 0
 
     # ------------------------------------------------------------------ #
     # allocation
     # ------------------------------------------------------------------ #
 
-    def _allocate(self, stream_id: int) -> Container:
+    def _allocate(self, stream_id: int, capacity: Optional[int] = None) -> Container:
         container = Container(
             container_id=self._next_id,
-            capacity=self.container_capacity,
+            capacity=capacity if capacity is not None else self.container_capacity,
             stream_id=stream_id,
         )
         self._containers[self._next_id] = container
         self._next_id += 1
         return container
+
+    def _seal(self, container: Container) -> None:
+        """Seal a container, count the whole-unit write and hand it to the backend."""
+        container.seal()
+        self.container_writes += 1
+        self.backend.on_seal(container)
+
+    def _store_oversize(self, chunk: ChunkRecord, stream_id: int) -> int:
+        """Store a chunk larger than the configured capacity (lock held).
+
+        The chunk gets a dedicated container sized to fit, sealed immediately
+        (one container write); the stream's open container is left untouched.
+        """
+        container = self._allocate(stream_id, capacity=chunk.length)
+        container.append(chunk)
+        self._stored_bytes += chunk.length
+        self._stored_chunks += 1
+        self._seal(container)
+        return container.container_id
 
     def open_container(self, stream_id: int = 0) -> Container:
         """Return the open container for ``stream_id``, allocating one if needed."""
@@ -69,23 +105,76 @@ class ContainerStore:
         container counts as one container write (the whole unit goes to disk).
         """
         with self._lock:
+            if chunk.length > self.container_capacity:
+                return self._store_oversize(chunk, stream_id)
             container = self._open_by_stream.get(stream_id)
             if container is None or container.sealed or not container.has_room_for(chunk.length):
                 if container is not None and not container.sealed:
-                    container.seal()
-                    self.container_writes += 1
+                    self._seal(container)
                 container = self._allocate(stream_id)
                 self._open_by_stream[stream_id] = container
             container.append(chunk)
+            self._stored_bytes += chunk.length
+            self._stored_chunks += 1
             return container.container_id
+
+    def store_chunks(self, chunks: Sequence[ChunkRecord], stream_id: int = 0) -> List[int]:
+        """Store a batch of unique chunks, partitioning them into containers
+        in one pass under one lock acquisition.
+
+        Equivalent to calling :meth:`store_chunk` once per chunk in order:
+        identical container ids, contents, seal timing and write accounting --
+        this is the batched append of the node's super-chunk data plane.
+        Returns the container id of every chunk, aligned with ``chunks``.
+        """
+        container_ids: List[int] = []
+        append_id = container_ids.append
+        capacity = self.container_capacity
+        with self._lock:
+            container = self._open_by_stream.get(stream_id)
+            if container is not None and container.sealed:
+                container = None
+            free = container.free if container is not None else 0
+            run: List[ChunkRecord] = []
+            run_append = run.append
+            stored_bytes = 0
+            stored_chunks = 0
+
+            def flush_run() -> None:
+                if run:
+                    container.append_many(run)
+                    run.clear()
+
+            for chunk in chunks:
+                length = chunk.length
+                if length > capacity:
+                    # _store_oversize accounts its own chunk and leaves the
+                    # stream's open container (and its pending run) untouched.
+                    append_id(self._store_oversize(chunk, stream_id))
+                    continue
+                if container is None or length > free:
+                    flush_run()
+                    if container is not None:
+                        self._seal(container)
+                    container = self._allocate(stream_id)
+                    self._open_by_stream[stream_id] = container
+                    free = container.free
+                run_append(chunk)
+                free -= length
+                stored_bytes += length
+                stored_chunks += 1
+                append_id(container.container_id)
+            flush_run()
+            self._stored_bytes += stored_bytes
+            self._stored_chunks += stored_chunks
+        return container_ids
 
     def flush(self) -> None:
         """Seal every open container (end of a backup session)."""
         with self._lock:
             for container in self._open_by_stream.values():
                 if not container.sealed and container.chunk_count > 0:
-                    container.seal()
-                    self.container_writes += 1
+                    self._seal(container)
             self._open_by_stream.clear()
 
     # ------------------------------------------------------------------ #
@@ -106,7 +195,12 @@ class ContainerStore:
         return container
 
     def read_chunk(self, container_id: int, fingerprint: bytes) -> Optional[bytes]:
-        """Read a chunk payload out of a container (one container-granularity read)."""
+        """Read a chunk payload out of a container (one container-granularity read).
+
+        With a spill-to-disk backend this reloads the container's spill file;
+        a missing or truncated file raises
+        :class:`~repro.errors.ContainerNotFoundError`.
+        """
         container = self.read_container(container_id)
         return container.read_chunk(fingerprint)
 
@@ -126,12 +220,27 @@ class ContainerStore:
 
     @property
     def stored_bytes(self) -> int:
-        """Total bytes in all data sections (the node's physical capacity usage)."""
-        return sum(container.used for container in self._containers.values())
+        """Total bytes in all data sections (the node's physical capacity usage).
+
+        Maintained as a running counter, so the per-candidate ``storage_usage``
+        probes of sigma routing cost O(1) regardless of how many containers
+        have accumulated.
+        """
+        return self._stored_bytes
 
     @property
     def stored_chunks(self) -> int:
-        return sum(container.chunk_count for container in self._containers.values())
+        return self._stored_chunks
+
+    @property
+    def resident_payload_bytes(self) -> int:
+        """Bytes of container payload currently held in RAM (spilled sealed
+        containers do not count -- the bounded-footprint metric)."""
+        return sum(
+            container.used
+            for container in self._containers.values()
+            if container.payload_resident
+        )
 
     def container_ids(self) -> List[int]:
         return list(self._containers.keys())

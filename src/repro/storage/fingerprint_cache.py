@@ -14,7 +14,7 @@ is a duplicate and tells the node which container already stores it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.utils.lru import LRUCache
 
@@ -64,6 +64,22 @@ class ChunkFingerprintCache:
         existing.add(fingerprint)
         self._fingerprint_to_container[fingerprint] = container_id
 
+    def add_fingerprints(self, container_id: int, fingerprints: Sequence[bytes]) -> None:
+        """Add a batch of fingerprints of one open container in bulk.
+
+        Equivalent to calling :meth:`add_fingerprint` once per fingerprint:
+        the container entry is created (inserted at most-recently-used, with
+        the same eviction consequences) only if absent.
+        """
+        if not fingerprints:
+            return
+        existing = self._containers.peek(container_id)
+        if existing is None:
+            existing = set()
+            self._containers.put(container_id, existing)
+        existing.update(fingerprints)
+        self._fingerprint_to_container.update(dict.fromkeys(fingerprints, container_id))
+
     # ------------------------------------------------------------------ #
     # lookup
     # ------------------------------------------------------------------ #
@@ -81,6 +97,100 @@ class ChunkFingerprintCache:
             del self._fingerprint_to_container[fingerprint]
             return None
         return container_id
+
+    def lookup_many(self, fingerprints: Sequence[bytes]) -> Dict[bytes, int]:
+        """Batched lookup of distinct fingerprints against a stable cache state.
+
+        Returns ``fingerprint -> container id`` for every hit.  The hit/miss
+        statistics, stale-entry dropping and final LRU recency order are
+        exactly what ``len(fingerprints)`` sequential :meth:`lookup` calls
+        would have produced -- provided no prefetch or insert runs in between
+        (callers interleaving mutations, like the batched node data plane,
+        use :meth:`probe_batch` + :meth:`commit_lookups` instead).
+        """
+        found, stale = self.probe_batch(fingerprints)
+        reverse = self._fingerprint_to_container
+        for fingerprint in stale:
+            del reverse[fingerprint]
+        self.touch_many(found.values())
+        self._containers.record(len(found), len(fingerprints) - len(found))
+        return found
+
+    def probe_batch(
+        self, fingerprints: Iterable[bytes]
+    ) -> Tuple[Dict[bytes, int], List[bytes]]:
+        """Counter-free snapshot classification of a batch of fingerprints.
+
+        Returns ``(found, stale)``: ``found`` maps each cached fingerprint to
+        its container id (insertion-ordered as ``fingerprints``), ``stale``
+        lists fingerprints whose reverse-map entry points at an evicted
+        container.  Neither statistics nor LRU order are touched; the caller
+        replays those effects with :meth:`touch_many`, :meth:`drop_stale` and
+        :meth:`commit_lookups` at the points its execution order dictates.
+        """
+        reverse = self._fingerprint_to_container
+        if not reverse:
+            return {}, []
+        found = {
+            fingerprint: reverse[fingerprint]
+            for fingerprint in fingerprints
+            if fingerprint in reverse
+        }
+        if not found:
+            return {}, []
+        entries = self._containers
+        # Validate per distinct container, not per fingerprint: stale entries
+        # are the rare case, hits usually share a handful of containers.
+        invalid = {
+            container_id
+            for container_id in set(found.values())
+            if container_id not in entries
+        }
+        if not invalid:
+            return found, []
+        stale = [fp for fp, container_id in found.items() if container_id in invalid]
+        for fingerprint in stale:
+            del found[fingerprint]
+        return found, stale
+
+    def peek_many(self, fingerprints: Iterable[bytes]) -> Set[bytes]:
+        """The subset of ``fingerprints`` currently cached, without side effects
+        on statistics or LRU order (stale reverse entries are dropped quietly,
+        as :meth:`peek` does)."""
+        reverse = self._fingerprint_to_container
+        candidates = reverse.keys() & (
+            fingerprints if isinstance(fingerprints, (set, frozenset)) else set(fingerprints)
+        )
+        found: Set[bytes] = set()
+        for fingerprint in candidates:
+            if self._containers.peek(reverse[fingerprint]) is None:
+                del reverse[fingerprint]
+            else:
+                found.add(fingerprint)
+        return found
+
+    def touch_many(self, container_ids: Iterable[int]) -> None:
+        """Replay a run of hit-recency touches in order (no statistics).
+
+        Only the *last* touch of each container determines the final LRU
+        order, so repeated touches are collapsed to one per container,
+        preserving last-occurrence order -- a run of hits within one
+        prefetched container costs a single reorder.
+        """
+        ids = container_ids if isinstance(container_ids, list) else list(container_ids)
+        if len(ids) > 1:
+            ids = reversed(dict.fromkeys(reversed(ids)))
+        touch = self._containers.touch
+        for container_id in ids:
+            touch(container_id)
+
+    def drop_stale(self, fingerprint: bytes) -> None:
+        """Drop a reverse-map entry found stale by :meth:`probe_batch`."""
+        self._fingerprint_to_container.pop(fingerprint, None)
+
+    def commit_lookups(self, hits: int, misses: int) -> None:
+        """Account a batch of lookups in bulk on the LRU statistics."""
+        self._containers.record(hits, misses)
 
     def peek(self, fingerprint: bytes) -> Optional[int]:
         """Return the container id caching ``fingerprint`` without side effects.

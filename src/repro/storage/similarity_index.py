@@ -21,7 +21,7 @@ The index answers two questions:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fingerprint.handprint import Handprint
 from repro.utils.striped_lock import StripedLock
@@ -66,7 +66,8 @@ class SimilarityIndex:
 
     def lookup(self, representative_fingerprint: bytes) -> Optional[int]:
         """Return the container id stored for an RFP, or ``None``."""
-        with self._locks.locked(representative_fingerprint):
+        with self._locks.lock_for(representative_fingerprint):
+            self._locks.acquisitions += 1
             self.lookups += 1
             container_id = self._entries.get(representative_fingerprint)
             if container_id is not None:
@@ -75,9 +76,24 @@ class SimilarityIndex:
 
     def insert(self, representative_fingerprint: bytes, container_id: int) -> None:
         """Insert or update the container id for an RFP."""
-        with self._locks.locked(representative_fingerprint):
+        with self._locks.lock_for(representative_fingerprint):
+            self._locks.acquisitions += 1
             self.inserts += 1
             self._entries[representative_fingerprint] = container_id
+
+    def insert_many(self, items: Iterable[Tuple[bytes, int]]) -> None:
+        """Batched insert of ``(RFP, container id)`` pairs.
+
+        Each entry still takes its own stripe lock (entries hash to different
+        stripes), with counters advancing exactly as per-entry inserts would.
+        """
+        locks = self._locks
+        entries = self._entries
+        for representative_fingerprint, container_id in items:
+            with locks.lock_for(representative_fingerprint):
+                locks.acquisitions += 1
+                self.inserts += 1
+                entries[representative_fingerprint] = container_id
 
     # ------------------------------------------------------------------ #
     # handprint-level operations
@@ -90,10 +106,13 @@ class SimilarityIndex:
         pre-routing query of Algorithm 1 (step 2).
         """
         count = 0
+        locks = self._locks
+        entries = self._entries
         for fingerprint in handprint:
-            with self._locks.locked(fingerprint):
+            with locks.lock_for(fingerprint):
+                locks.acquisitions += 1
                 self.lookups += 1
-                if fingerprint in self._entries:
+                if fingerprint in entries:
                     self.lookup_hits += 1
                     count += 1
         return count

@@ -65,6 +65,23 @@ class LRUCache(Generic[K, V]):
         """Return the cached value without updating recency or statistics."""
         return self._entries.get(key)
 
+    def touch(self, key: K) -> bool:
+        """Mark ``key`` most-recently-used without touching hit/miss statistics.
+
+        Returns whether the key was present.  Batched lookups use this to
+        replay the recency effects of a run of hits after counting them in
+        bulk with :meth:`record`.
+        """
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+    def record(self, hits: int, misses: int) -> None:
+        """Account a batch of lookups in bulk (statistics only)."""
+        self.hits += hits
+        self.misses += misses
+
     def put(self, key: K, value: V) -> None:
         """Insert or update an entry, evicting the LRU entry if over capacity."""
         if key in self._entries:

@@ -72,3 +72,15 @@ def running_totals(values: Iterable[float]) -> List[float]:
         acc += value
         totals.append(acc)
     return totals
+
+
+def count_matched_occurrences(items: Sequence, distinct: set, matched: set) -> int:
+    """How many elements of ``items`` -- counting repeats -- are in ``matched``.
+
+    ``distinct`` must be ``set(items)``; when ``items`` has no repeats the
+    answer is just ``len(matched)``, which keeps the common routing-sample
+    probe (distinct fingerprints) a pure set-size read.
+    """
+    if len(distinct) == len(items):
+        return len(matched)
+    return sum(1 for item in items if item in matched)

@@ -43,6 +43,15 @@ class StripedLock:
             value = hash(key)
         return value % len(self._locks)
 
+    def lock_for(self, key: bytes) -> threading.Lock:
+        """The raw stripe lock guarding ``key``.
+
+        Hot paths use ``with locks.lock_for(key):`` to get the C-level lock
+        context manager instead of a generator-based one; the caller is
+        responsible for bumping :attr:`acquisitions` inside the block.
+        """
+        return self._locks[self.stripe_for(key)]
+
     @contextmanager
     def locked(self, key: bytes) -> Iterator[None]:
         """Context manager acquiring the stripe lock that guards ``key``."""

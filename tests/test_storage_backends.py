@@ -1,0 +1,194 @@
+"""Tests for repro.storage.backends (pluggable container storage)."""
+
+import os
+
+import pytest
+
+from repro.errors import ContainerNotFoundError, StorageError
+from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.node.dedupe_node import DedupeNode, NodeConfig
+from repro.storage.backends import (
+    CONTAINER_BACKENDS,
+    ENV_CONTAINER_BACKEND,
+    FileContainerBackend,
+    InMemoryBackend,
+    build_container_backend,
+)
+from repro.storage.container_store import ContainerStore
+from tests.helpers import deterministic_bytes, fingerprint_of, superchunk_from_seeds
+
+
+def record(data: bytes) -> ChunkRecord:
+    return ChunkRecord(fingerprint=fingerprint_of(data), length=len(data), data=data)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert set(CONTAINER_BACKENDS) == {"memory", "file"}
+
+    def test_build_by_name(self, tmp_path):
+        assert isinstance(build_container_backend("memory"), InMemoryBackend)
+        backend = build_container_backend("file", storage_dir=tmp_path / "spill")
+        assert isinstance(backend, FileContainerBackend)
+        assert backend.storage_dir.is_dir()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(StorageError, match="unknown container backend"):
+            build_container_backend("tape")
+
+    def test_memory_backend_ignores_storage_dir(self, tmp_path):
+        backend = build_container_backend("memory", storage_dir=tmp_path)
+        assert isinstance(backend, InMemoryBackend)
+
+    def test_file_backend_without_dir_uses_tempdir(self):
+        backend = FileContainerBackend()
+        try:
+            assert backend.storage_dir.is_dir()
+        finally:
+            backend.close()
+
+
+class TestSpillOnSeal:
+    def test_sealed_payload_evicted_and_spilled(self, tmp_path):
+        backend = FileContainerBackend(tmp_path)
+        store = ContainerStore(container_capacity=64, backend=backend)
+        chunk = record(deterministic_bytes(40, seed=1))
+        container_id = store.store_chunk(chunk)
+        store.flush()
+        container = store.get(container_id)
+        assert container.sealed
+        assert not container.payload_resident
+        assert backend.spilled_containers == 1
+        assert backend.spilled_bytes == 40
+        assert backend.spill_path(container_id).stat().st_size == 40
+
+    def test_open_containers_stay_resident(self, tmp_path):
+        store = ContainerStore(container_capacity=1024, backend=FileContainerBackend(tmp_path))
+        container_id = store.store_chunk(record(b"abc"))
+        assert store.get(container_id).payload_resident
+
+    def test_read_back_from_spill_file(self, tmp_path):
+        store = ContainerStore(container_capacity=64, backend=FileContainerBackend(tmp_path))
+        chunks = [record(deterministic_bytes(30, seed=i)) for i in range(4)]
+        ids = store.store_chunks(chunks)
+        store.flush()
+        for chunk, container_id in zip(chunks, ids):
+            assert store.read_chunk(container_id, chunk.fingerprint) == chunk.data
+
+    def test_reads_count_as_container_io(self, tmp_path):
+        store = ContainerStore(container_capacity=64, backend=FileContainerBackend(tmp_path))
+        chunk = record(deterministic_bytes(40, seed=2))
+        container_id = store.store_chunk(chunk)
+        store.flush()
+        reads_before = store.container_reads
+        store.read_chunk(container_id, chunk.fingerprint)
+        assert store.container_reads == reads_before + 1
+
+    def test_metadata_stays_resident_for_prefetch(self, tmp_path):
+        backend = FileContainerBackend(tmp_path)
+        store = ContainerStore(container_capacity=64, backend=backend)
+        chunks = [record(deterministic_bytes(30, seed=i)) for i in range(2)]
+        container_id = store.store_chunks(chunks)[0]
+        store.flush()
+        # Deleting the spill file must not break a metadata-only prefetch.
+        backend.spill_path(container_id).unlink()
+        assert store.prefetch_metadata(container_id) == [c.fingerprint for c in chunks]
+
+    def test_stored_bytes_unchanged_by_eviction(self, tmp_path):
+        store = ContainerStore(container_capacity=64, backend=FileContainerBackend(tmp_path))
+        store.store_chunk(record(deterministic_bytes(40, seed=3)))
+        assert store.stored_bytes == 40
+        store.flush()
+        assert store.stored_bytes == 40
+        assert store.resident_payload_bytes == 0
+
+    def test_oversize_chunk_spills(self, tmp_path):
+        backend = FileContainerBackend(tmp_path)
+        store = ContainerStore(container_capacity=64, backend=backend)
+        big = record(deterministic_bytes(200, seed=4))
+        container_id = store.store_chunk(big)
+        assert not store.get(container_id).payload_resident
+        assert store.read_chunk(container_id, big.fingerprint) == big.data
+
+
+class TestSpillFileCrashes:
+    def _spilled(self, tmp_path):
+        backend = FileContainerBackend(tmp_path)
+        store = ContainerStore(container_capacity=64, backend=backend)
+        chunk = record(deterministic_bytes(40, seed=5))
+        container_id = store.store_chunk(chunk)
+        store.flush()
+        return backend, store, chunk, container_id
+
+    def test_missing_spill_file_raises_container_not_found(self, tmp_path):
+        backend, store, chunk, container_id = self._spilled(tmp_path)
+        backend.spill_path(container_id).unlink()
+        with pytest.raises(ContainerNotFoundError, match="missing or unreadable"):
+            store.read_chunk(container_id, chunk.fingerprint)
+
+    def test_truncated_spill_file_raises_container_not_found(self, tmp_path):
+        backend, store, chunk, container_id = self._spilled(tmp_path)
+        path = backend.spill_path(container_id)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ContainerNotFoundError, match="truncated"):
+            store.read_chunk(container_id, chunk.fingerprint)
+
+    def test_crash_surfaces_through_node_restore(self, tmp_path):
+        config = NodeConfig(
+            container_capacity=256, container_backend="file", storage_dir=str(tmp_path)
+        )
+        node = DedupeNode(0, config=config)
+        superchunk = superchunk_from_seeds(range(4), length=128)
+        node.backup_superchunk(superchunk)
+        node.flush()
+        for name in os.listdir(node.container_backend.storage_dir):
+            (node.container_backend.storage_dir / name).unlink()
+        with pytest.raises(ContainerNotFoundError):
+            node.read_chunk(superchunk.chunks[0].fingerprint)
+
+
+class TestNodeBackendSelection:
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv(ENV_CONTAINER_BACKEND, raising=False)
+        node = DedupeNode(0)
+        assert isinstance(node.container_backend, InMemoryBackend)
+
+    def test_config_selects_file_backend(self, tmp_path):
+        node = DedupeNode(3, config=NodeConfig(container_backend="file", storage_dir=str(tmp_path)))
+        assert isinstance(node.container_backend, FileContainerBackend)
+        assert node.container_backend.storage_dir == tmp_path / "node-3"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_CONTAINER_BACKEND, "file")
+        node = DedupeNode(0)
+        try:
+            assert isinstance(node.container_backend, FileContainerBackend)
+        finally:
+            node.container_backend.close()
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_CONTAINER_BACKEND, "file")
+        node = DedupeNode(0, config=NodeConfig(container_backend="memory"))
+        assert isinstance(node.container_backend, InMemoryBackend)
+
+    def test_storage_dir_alone_implies_file_backend(self, monkeypatch, tmp_path):
+        # A storage_dir with no explicit backend must mean "spill there", at
+        # node, cluster and framework level alike -- silently keeping the
+        # in-memory backend would ignore the directory without any error.
+        from repro.cluster.cluster import DedupeCluster
+
+        monkeypatch.delenv(ENV_CONTAINER_BACKEND, raising=False)
+        node = DedupeNode(0, config=NodeConfig(storage_dir=str(tmp_path / "n")))
+        assert isinstance(node.container_backend, FileContainerBackend)
+        cluster = DedupeCluster(num_nodes=2, storage_dir=str(tmp_path / "c"))
+        assert all(
+            isinstance(member.container_backend, FileContainerBackend)
+            for member in cluster.nodes
+        )
+
+    def test_nodes_get_disjoint_directories(self, tmp_path):
+        from repro.cluster.cluster import DedupeCluster
+
+        cluster = DedupeCluster(num_nodes=3, storage_dir=str(tmp_path), container_backend="file")
+        directories = {node.container_backend.storage_dir for node in cluster.nodes}
+        assert len(directories) == 3

@@ -76,3 +76,67 @@ class TestDisabledIndex:
         index.lookup(synthetic_fingerprint("a"))
         assert index.lookups == 1
         assert index.inserts == 0
+
+
+class TestBatchOperations:
+    """Batched APIs must be counter-equivalent to their per-entry forms."""
+
+    def _populated(self):
+        index = DiskChunkIndex()
+        for i in range(6):
+            index.insert(synthetic_fingerprint(str(i)), i % 3)
+        return index
+
+    def test_lookup_many_matches_sequential_lookups(self):
+        batched = self._populated()
+        sequential = self._populated()
+        queries = [synthetic_fingerprint(str(i)) for i in range(0, 9)]
+        found = batched.lookup_many(queries)
+        expected = {}
+        for fp in queries:
+            container_id = sequential.lookup(fp)
+            if container_id is not None:
+                expected[fp] = container_id
+        assert found == expected
+        assert batched.lookups == sequential.lookups
+        assert batched.lookup_hits == sequential.lookup_hits
+
+    def test_lookup_many_disabled_counts_lookups(self):
+        index = DiskChunkIndex(enabled=False)
+        assert index.lookup_many([synthetic_fingerprint("a")] * 3) == {}
+        assert index.lookups == 3
+        assert index.lookup_hits == 0
+
+    def test_match_batch_and_record_lookups(self):
+        index = self._populated()
+        lookups_before = index.lookups
+        matched = index.match_batch([synthetic_fingerprint("1"), synthetic_fingerprint("x")])
+        assert matched == {synthetic_fingerprint("1"): 1}
+        assert index.lookups == lookups_before  # counter-free
+        index.record_lookups(2, 1)
+        assert index.lookups == lookups_before + 2
+        assert index.lookup_hits == 1
+
+    def test_peek_many_is_counter_free_intersection(self):
+        index = self._populated()
+        lookups_before = index.lookups
+        present = index.peek_many([synthetic_fingerprint("0"), synthetic_fingerprint("z")])
+        assert present == {synthetic_fingerprint("0")}
+        assert index.lookups == lookups_before
+        assert DiskChunkIndex(enabled=False).peek_many([synthetic_fingerprint("0")]) == set()
+
+    def test_insert_batch_matches_sequential_inserts(self):
+        batched = DiskChunkIndex()
+        sequential = DiskChunkIndex()
+        items = [(synthetic_fingerprint(str(i)), i) for i in range(5)]
+        batched.insert_batch(items)
+        for fp, container_id in items:
+            sequential.insert(fp, container_id)
+        assert batched.inserts == sequential.inserts
+        assert all(batched.lookup(fp) == container_id for fp, container_id in items)
+
+    def test_insert_batch_disabled_is_dropped(self):
+        index = DiskChunkIndex(enabled=False)
+        index.insert_batch([(synthetic_fingerprint("a"), 1)])
+        assert len(index) == 0
+        assert index.inserts == 0

@@ -100,6 +100,109 @@ class TestFlushAndIO:
         assert store.container_ids() == [0, 1]
 
 
+class TestOversizedChunks:
+    """A chunk larger than the container capacity gets a dedicated container
+    sealed immediately -- the seed behavior leaked an empty container into the
+    store and raised an opaque ContainerFullError."""
+
+    def test_oversized_chunk_is_stored_and_readable(self):
+        store = ContainerStore(container_capacity=100)
+        big = record(b"x" * 250)
+        container_id = store.store_chunk(big)
+        assert store.read_chunk(container_id, big.fingerprint) == b"x" * 250
+
+    def test_oversized_chunk_container_sealed_immediately(self):
+        store = ContainerStore(container_capacity=100)
+        container_id = store.store_chunk(record(b"x" * 250))
+        container = store.get(container_id)
+        assert container.sealed
+        assert container.chunk_count == 1
+        assert store.container_writes == 1
+
+    def test_no_empty_container_leaked(self):
+        store = ContainerStore(container_capacity=100)
+        store.store_chunk(record(b"x" * 250))
+        assert store.container_count == 1
+        assert all(
+            store.get(container_id).chunk_count > 0
+            for container_id in store.container_ids()
+        )
+
+    def test_open_container_survives_oversized_chunk(self):
+        store = ContainerStore(container_capacity=100)
+        first = store.store_chunk(record(b"a" * 40))
+        oversize = store.store_chunk(record(b"x" * 250))
+        third = store.store_chunk(record(b"b" * 40))
+        assert oversize != first
+        assert third == first  # the stream's open container was not disturbed
+        assert store.stored_bytes == 40 + 250 + 40
+        assert store.stored_chunks == 3
+
+    def test_chunk_exactly_at_capacity_uses_normal_path(self):
+        store = ContainerStore(container_capacity=100)
+        container_id = store.store_chunk(record(b"x" * 100))
+        assert not store.get(container_id).sealed
+        assert store.container_writes == 0
+
+
+class TestStoreChunksBatch:
+    """store_chunks must be byte-for-byte equivalent to per-chunk store_chunk."""
+
+    @staticmethod
+    def _payloads(lengths, start_seed=0):
+        return [
+            record(deterministic_bytes(length, seed=start_seed + index))
+            for index, length in enumerate(lengths)
+        ]
+
+    def test_matches_per_chunk_ids_and_accounting(self):
+        lengths = [40, 40, 40, 250, 10, 100, 60, 60, 5, 300, 99]
+        batched = ContainerStore(container_capacity=100)
+        sequential = ContainerStore(container_capacity=100)
+        chunks = self._payloads(lengths)
+        batch_ids = batched.store_chunks(chunks)
+        seq_ids = [sequential.store_chunk(chunk) for chunk in chunks]
+        assert batch_ids == seq_ids
+        assert batched.container_count == sequential.container_count
+        assert batched.container_writes == sequential.container_writes
+        assert batched.stored_bytes == sequential.stored_bytes == sum(lengths)
+        assert batched.stored_chunks == sequential.stored_chunks == len(lengths)
+        for container_id in batched.container_ids():
+            assert (
+                batched.get(container_id).fingerprints()
+                == sequential.get(container_id).fingerprints()
+            )
+
+    def test_batch_resumes_open_container(self):
+        store = ContainerStore(container_capacity=100)
+        first = store.store_chunk(record(b"a" * 30))
+        ids = store.store_chunks(self._payloads([30, 60], start_seed=50))
+        assert ids[0] == first
+        assert ids[1] != first  # 30 + 30 + 60 > 100 forces a new container
+
+    def test_batch_per_stream_isolation(self):
+        store = ContainerStore(container_capacity=1024)
+        ids_zero = store.store_chunks(self._payloads([10, 10]), stream_id=0)
+        ids_one = store.store_chunks(self._payloads([10, 10], start_seed=9), stream_id=1)
+        assert set(ids_zero).isdisjoint(ids_one)
+
+    def test_empty_batch(self):
+        store = ContainerStore()
+        assert store.store_chunks([]) == []
+        assert store.container_count == 0
+
+
+class TestRunningCounters:
+    def test_counters_match_recomputed_sums(self):
+        store = ContainerStore(container_capacity=128)
+        for index in range(20):
+            store.store_chunk(record(deterministic_bytes(32 + index, seed=index)))
+        expected_bytes = sum(c.used for c in store._containers.values())
+        expected_chunks = sum(c.chunk_count for c in store._containers.values())
+        assert store.stored_bytes == expected_bytes
+        assert store.stored_chunks == expected_chunks
+
+
 class TestConcurrency:
     def test_parallel_streams_store_all_chunks(self):
         store = ContainerStore(container_capacity=4096)

@@ -137,3 +137,70 @@ class TestPeek:
         cache.prefetch_container(0, first)
         cache.prefetch_container(1, fps("c1", 3))
         assert cache.peek(first[0]) is None
+
+
+class TestBatchOperations:
+    """Batched APIs must be statistics- and recency-equivalent to per-entry calls."""
+
+    def _populated(self):
+        cache = ChunkFingerprintCache(capacity_containers=4)
+        cache.prefetch_container(0, fps("c0", 3))
+        cache.prefetch_container(1, fps("c1", 3))
+        return cache
+
+    def test_lookup_many_matches_sequential_lookups(self):
+        batched = self._populated()
+        sequential = self._populated()
+        queries = fps("c0", 3) + fps("absent", 2) + fps("c1", 1)
+        found = batched.lookup_many(queries)
+        expected = {}
+        for fp in queries:
+            container_id = sequential.lookup(fp)
+            if container_id is not None:
+                expected[fp] = container_id
+        assert found == expected
+        assert batched.hits == sequential.hits
+        assert batched.misses == sequential.misses
+        assert list(batched._containers) == list(sequential._containers)
+
+    def test_lookup_many_drops_stale_entries(self):
+        cache = ChunkFingerprintCache(capacity_containers=1)
+        first = fps("c0", 2)
+        cache.prefetch_container(0, first)
+        cache.prefetch_container(1, fps("c1", 2))  # evicts container 0
+        # Re-point a stale-looking reverse entry at the evicted container.
+        cache._fingerprint_to_container[first[0]] = 0
+        assert cache.lookup_many([first[0]]) == {}
+        assert first[0] not in cache._fingerprint_to_container
+
+    def test_probe_batch_is_side_effect_free(self):
+        cache = self._populated()
+        order_before = list(cache._containers)
+        found, stale = cache.probe_batch(fps("c0", 3) + fps("absent", 1))
+        assert found == {fp: 0 for fp in fps("c0", 3)}
+        assert stale == []
+        assert cache.hits == 0 and cache.misses == 0
+        assert list(cache._containers) == order_before
+
+    def test_touch_many_collapses_to_last_occurrence_order(self):
+        cache = self._populated()
+        cache.prefetch_container(2, fps("c2", 1))
+        cache.touch_many([0, 1, 0, 2, 1])  # last touches: 0, 2, 1
+        assert list(cache._containers) == [0, 2, 1]
+
+    def test_peek_many_counter_free(self):
+        cache = self._populated()
+        present = cache.peek_many(set(fps("c0", 2)) | {synthetic_fingerprint("nope")})
+        assert present == set(fps("c0", 2))
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_add_fingerprints_matches_sequential_adds(self):
+        batched = ChunkFingerprintCache(capacity_containers=2)
+        sequential = ChunkFingerprintCache(capacity_containers=2)
+        fingerprints = fps("open", 4)
+        batched.add_fingerprints(7, fingerprints)
+        for fp in fingerprints:
+            sequential.add_fingerprint(7, fp)
+        assert batched.cached_fingerprints == sequential.cached_fingerprints
+        assert list(batched._containers) == list(sequential._containers)
+        assert all(batched.peek(fp) == 7 for fp in fingerprints)
