@@ -1,7 +1,7 @@
 """End-to-end ingest throughput: workload -> chunk -> fingerprint -> route -> store.
 
 Not a paper figure -- this harness records the repository's ingest
-performance trajectory and guards it in CI.  Four stages are measured, each
+performance trajectory and guards it in CI.  Six stages are measured, each
 in MB/s over the same synthetic payload:
 
 * **chunk_only** -- the boundary scan alone (``Chunker.cut_offsets``), the
@@ -18,13 +18,27 @@ in MB/s over the same synthetic payload:
   (``SigmaDedupe.backup``: partitioning, SHA-1, handprint routing, node
   dedupe and container store), plus ``end_to_end_perchunk`` /
   ``end_to_end_spill`` rows for the seed node execution and the file-backend
-  variant of the same session.
+  variant of the same session;
+* **parallel_end_to_end** -- the same session through the parallel ingest
+  engine (``SigmaDedupe(workers=N)``) for workers in {1, 2, 4}: worker lanes
+  fan out the chunk+fingerprint front end, results stay byte-identical to
+  serial ingest.  Lanes are threads, so the scaling headroom is bounded by
+  the host's cores (recorded as ``cpu_count`` in the config);
+* **restore** -- the read path on the spill-to-disk backend: a two-generation
+  session whose later recipes interleave containers, restored chunk-at-a-time
+  (the seed path, one spill reload per chunk softened only by a one-slot
+  buffer) vs the batched path (grouped by (node, container), one load per
+  distinct container per window) vs the streamed iterator.
 
 Results are printed and written to ``BENCH_ingest.json`` at the repository
 root so successive PRs accumulate comparable data points.  Asserted
 regressions (the CI smoke gate): the accelerated scan is >= 3x the pure scan,
-accelerated end-to-end ingest is >= 1.2x the pure end-to-end rate, and the
-batched node path is >= 1.2x the seed per-chunk node path.
+accelerated end-to-end ingest is >= 1.2x the pure end-to-end rate, the
+batched node path is >= 1.2x the seed per-chunk node path, batched spill
+restore is >= 2x the per-chunk spill restore, and -- on hosts with >= 4 cores,
+i.e. the CI runners -- workers=4 parallel ingest is >= 1.5x workers=1 (>= 2
+cores gate at a reduced 1.1x; a single-core host records the rows and skips
+the assertion, since thread scaling is physically impossible there).
 
 Run directly::
 
@@ -36,7 +50,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import random
 import sys
 import tempfile
 import time
@@ -47,6 +63,7 @@ from repro.chunking.accel import AcceleratedGearChunker, numpy_available
 from repro.chunking.base import Chunker
 from repro.chunking.gear import GearChunker
 from repro.cluster.cluster import DedupeCluster
+from repro.cluster.restore import RestoreManager
 from repro.core.framework import SigmaDedupe
 from repro.core.partitioner import PartitionerConfig, StreamPartitioner
 from repro.fingerprint.fingerprinter import Fingerprinter
@@ -60,6 +77,13 @@ NUM_FILES = 4
 # Best-of-5: the 1.2x batched-vs-per-chunk gate needs a noise-resistant
 # baseline on shared CI runners (locally the ratio sits around 1.3x).
 NODE_PATH_REPEATS = 5
+PARALLEL_WORKERS = (1, 2, 4)
+PARALLEL_REPEATS = 3
+# Restore rows use small containers so even the smoke payload spreads over
+# many spill files (with 4 MiB containers a 3 MB smoke run would fit in one
+# container per node and the one-slot buffer would hide the whole effect).
+RESTORE_CONTAINER_CAPACITY = 256 * 1024
+RESTORE_REPEATS = 3
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
 
@@ -132,6 +156,7 @@ def measure_end_to_end(
     files: List[Tuple[str, bytes]],
     batch_execution: bool = True,
     storage_dir: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> float:
     framework = SigmaDedupe(
         num_nodes=NUM_NODES,
@@ -140,6 +165,7 @@ def measure_end_to_end(
         superchunk_size=SUPERCHUNK_SIZE,
         node_config=NodeConfig(batch_execution=batch_execution),
         storage_dir=storage_dir,
+        workers=workers,
     )
     logical = sum(len(data) for _, data in files)
     start = time.perf_counter()
@@ -147,6 +173,71 @@ def measure_end_to_end(
     elapsed = time.perf_counter() - start
     assert report.logical_bytes == logical, (report.logical_bytes, logical)
     return _mbps(logical, elapsed)
+
+
+def measure_parallel_end_to_end(
+    files: List[Tuple[str, bytes]], workers: int
+) -> float:
+    """Best-of-repeats parallel ingest on the fastest available chunker."""
+    best = 0.0
+    for _ in range(PARALLEL_REPEATS):
+        best = max(best, measure_end_to_end(best_chunker(), files, workers=workers))
+    return best
+
+
+def build_restore_session(storage_dir: str, data: bytes) -> Tuple[SigmaDedupe, str, int]:
+    """A two-generation spill-backed session whose second recipe interleaves
+    old and new containers (unchanged chunks resolve to generation-0 sealed
+    containers, edited spans land in fresh ones)."""
+    framework = SigmaDedupe(
+        num_nodes=NUM_NODES,
+        routing="sigma",
+        chunker=best_chunker(),
+        superchunk_size=SUPERCHUNK_SIZE,
+        node_config=NodeConfig(container_capacity=RESTORE_CONTAINER_CAPACITY),
+        storage_dir=storage_dir,
+    )
+    file_size = len(data) // NUM_FILES
+    files = [
+        (f"restore/file-{index}.bin", data[index * file_size:(index + 1) * file_size])
+        for index in range(NUM_FILES)
+    ]
+    framework.backup(files, session_label="restore-gen-0")
+    rng = random.Random(271828)
+    edited = []
+    for path, payload in files:
+        buffer = bytearray(payload)
+        # Dense scattered edits: roughly every other chunk becomes a
+        # generation-1 unique, so the generation-1 recipe alternates between
+        # generation-0 and generation-1 containers -- the fragmented-restore
+        # pattern where one spill reload per chunk is pathological.
+        for offset in range(0, len(buffer) - 2048, 2 * AVERAGE_CHUNK_SIZE):
+            buffer[offset:offset + 2048] = rng.randbytes(2048)
+        edited.append((path, bytes(buffer)))
+    report = framework.backup(edited, session_label="restore-gen-1")
+    logical = sum(len(payload) for _, payload in edited)
+    return framework, report.session_id, logical
+
+
+def measure_restore(framework: SigmaDedupe, session_id: str, logical: int, mode: str) -> float:
+    """Restore the whole session via one consumption shape, best of repeats."""
+    best = 0.0
+    for _ in range(RESTORE_REPEATS):
+        manager = RestoreManager(
+            framework.cluster, framework.director, batch_reads=(mode != "per-chunk")
+        )
+        restored_bytes = 0
+        start = time.perf_counter()
+        for path in framework.director.files_in_session(session_id):
+            if mode == "streamed":
+                for piece in manager.iter_restore_file(session_id, path):
+                    restored_bytes += len(piece)
+            else:
+                restored_bytes += len(manager.restore_file(session_id, path))
+        elapsed = time.perf_counter() - start
+        assert restored_bytes == logical, (restored_bytes, logical)
+        best = max(best, _mbps(logical, elapsed))
+    return best
 
 
 def run(scale: str) -> Dict:
@@ -218,6 +309,25 @@ def run(scale: str) -> Dict:
             )
         }
 
+        # Parallel ingest: the same session through worker lanes (thread
+        # executor, so scaling is bounded by the host's cores).
+        results["parallel_end_to_end"] = {
+            f"workers-{workers}": round(measure_parallel_end_to_end(files, workers), 2)
+            for workers in PARALLEL_WORKERS
+        }
+
+        # Restore: the spill-backed read path, chunk-at-a-time vs batched vs
+        # streamed, over a session whose recipes interleave containers.
+        restore_framework, restore_session, restore_logical = build_restore_session(
+            str(Path(spill_dir) / "restore"), data
+        )
+        results["restore"] = {
+            f"{mode}-spill": round(
+                measure_restore(restore_framework, restore_session, restore_logical, mode), 2
+            )
+            for mode in ("per-chunk", "batched", "streamed")
+        }
+
     # The CI smoke gates: a chunking, ingest or node-plane regression fails
     # the build.  At smoke scale the batched/per-chunk ratio has comfortable
     # headroom (~1.5x measured); the bigger full-scale payload spends
@@ -243,13 +353,40 @@ def run(scale: str) -> Dict:
             f"accelerated ingest regressed: {e2e_accel} MB/s vs pure {e2e_pure} MB/s"
         )
 
+    # Restore gate: grouping a window's reads by container must beat one
+    # spill reload per chunk decisively, everywhere.
+    restore_per_chunk = results["restore"]["per-chunk-spill"]
+    restore_batched = results["restore"]["batched-spill"]
+    assert restore_batched >= restore_per_chunk * 2.0, (
+        f"batched spill restore regressed: {restore_batched} MB/s vs per-chunk "
+        f"{restore_per_chunk} MB/s (< 2x)"
+    )
+
+    # Parallel gate: thread lanes need cores to scale on.  CI runners have
+    # >= 4, so the 1.5x contract is enforced there; 2-3 cores gate at a
+    # reduced 1.1x; a single core records the rows but cannot assert scaling.
+    cpu_count = os.cpu_count() or 1
+    parallel_one = results["parallel_end_to_end"]["workers-1"]
+    parallel_four = results["parallel_end_to_end"]["workers-4"]
+    if numpy_available() and cpu_count >= 2:
+        parallel_gate = 1.5 if cpu_count >= 4 else 1.1
+        assert parallel_four >= parallel_one * parallel_gate, (
+            f"parallel ingest failed to scale: workers=4 at {parallel_four} MB/s vs "
+            f"workers=1 at {parallel_one} MB/s (< {parallel_gate}x on {cpu_count} cores)"
+        )
+    elif cpu_count < 2:
+        print(
+            f"[parallel gate skipped: {cpu_count} core(s) available, thread lanes "
+            "cannot scale here]"
+        )
+
     try:
         import numpy
         numpy_version = numpy.__version__
     except ImportError:
         numpy_version = None
     return {
-        "schema": "bench-ingest-v2",
+        "schema": "bench-ingest-v3",
         "generated_by": "benchmarks/bench_ingest_throughput.py",
         "config": {
             "scale": scale,
@@ -262,6 +399,11 @@ def run(scale: str) -> Dict:
             "fingerprint_algorithm": "sha1",
             "node_path_generations": 2,
             "node_path_repeats": NODE_PATH_REPEATS,
+            "parallel_workers": list(PARALLEL_WORKERS),
+            "parallel_repeats": PARALLEL_REPEATS,
+            "restore_container_capacity": RESTORE_CONTAINER_CAPACITY,
+            "restore_repeats": RESTORE_REPEATS,
+            "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": numpy_version,
         },

@@ -17,6 +17,7 @@ from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.cluster.recipe import ChunkLocation
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
+from repro.parallel.engine import ParallelIngestEngine, resolve_workers
 
 
 @dataclass
@@ -57,6 +58,17 @@ class BackupClient:
         The director that tracks sessions and file recipes.
     partitioner_config:
         Chunking / super-chunk / handprint configuration.
+    workers:
+        Default number of parallel ingest lanes for this client's backups.
+        ``None`` defers to the ``REPRO_INGEST_WORKERS`` environment variable,
+        falling back to serial ingest.  Parallel ingest produces results
+        byte-identical to serial ingest (same reports, statistics and
+        restores): worker lanes only fan out the chunk+fingerprint front end,
+        while super-chunks are re-sequenced in stream order before routing.
+    parallel_executor:
+        Lane execution model when ``workers > 1``: ``"thread"`` (default;
+        the accelerated chunkers and ``hashlib`` release the GIL) or
+        ``"process"`` (for the pure-Python chunker fallback).
     """
 
     def __init__(
@@ -65,17 +77,34 @@ class BackupClient:
         cluster: DedupeCluster,
         director: Director,
         partitioner_config: Optional[PartitionerConfig] = None,
+        workers: Optional[int] = None,
+        parallel_executor: str = "thread",
     ):
         self.client_id = client_id
         self.cluster = cluster
         self.director = director
         self.partitioner = StreamPartitioner(partitioner_config)
+        self.workers = workers
+        self.parallel_executor = parallel_executor
+
+    def _partition(
+        self, files: Iterable[Tuple[str, FilePayload]], stream_id: int, workers: Optional[int]
+    ):
+        """The session's ``(superchunk, contributions)`` source: the serial
+        partitioner, or the parallel engine when more than one lane is asked
+        for (identical output either way)."""
+        effective = resolve_workers(workers if workers is not None else self.workers)
+        if effective <= 1:
+            return self.partitioner.partition_files(files, stream_id=stream_id)
+        engine = ParallelIngestEngine(workers=effective, executor=self.parallel_executor)
+        return engine.partition_files(self.partitioner.config, files, stream_id=stream_id)
 
     def backup_files(
         self,
         files: Iterable[Tuple[str, FilePayload]],
         session_label: str = "",
         stream_id: int = 0,
+        workers: Optional[int] = None,
     ) -> ClientBackupReport:
         """Back up ``(path, payload)`` files as one backup session.
 
@@ -85,13 +114,19 @@ class BackupClient:
         soon as they fill, so peak client memory is O(one super-chunk) --
         independent of file sizes -- rather than O(largest file).
 
+        With ``workers > 1`` (or a client/environment default) the
+        chunk+fingerprint front end runs across that many parallel lanes in
+        O(lanes x super-chunk) memory; the results are identical to serial
+        ingest in every observable (reports, per-node statistics, recipes,
+        restored bytes).
+
         Returns a :class:`ClientBackupReport` with transfer statistics; file
         recipes are recorded with the director so files can be restored.
         """
         session = self.director.open_session(self.client_id, label=session_label)
         report = ClientBackupReport(session_id=session.session_id)
 
-        for superchunk, contributions in self.partitioner.partition_files(files, stream_id=stream_id):
+        for superchunk, contributions in self._partition(files, stream_id, workers):
             if superchunk is None:
                 # Trailing zero-byte files with no super-chunk to ride on:
                 # nothing to route, but their (empty) recipes must exist.
@@ -133,10 +168,12 @@ class BackupClient:
         data: bytes,
         session_label: str = "",
         stream_id: int = 0,
+        workers: Optional[int] = None,
     ) -> ClientBackupReport:
         """Convenience wrapper to back up a single in-memory object."""
         return self.backup_files(
-            [(path, data)], session_label=session_label, stream_id=stream_id
+            [(path, data)], session_label=session_label, stream_id=stream_id,
+            workers=workers,
         )
 
     def backup_stream(
@@ -145,14 +182,19 @@ class BackupClient:
         path: str = "stream",
         session_label: str = "",
         stream_id: int = 0,
+        workers: Optional[int] = None,
     ) -> ClientBackupReport:
         """Ingest a single (possibly unbounded) block stream as one object.
 
         The stream is chunked, fingerprinted, grouped and routed incrementally;
         nothing upstream of one super-chunk is buffered, so streams far larger
         than memory can be backed up.  The stream is recorded under ``path``
-        and restores like any other file.
+        and restores like any other file.  A single stream cannot fan out
+        across lanes, but ``workers > 1`` still pipelines: a lane chunks and
+        fingerprints while this thread routes and stores (``workers=1`` stays
+        fully serial, like every other backup call).
         """
         return self.backup_files(
-            [(path, blocks)], session_label=session_label, stream_id=stream_id
+            [(path, blocks)], session_label=session_label, stream_id=stream_id,
+            workers=workers,
         )

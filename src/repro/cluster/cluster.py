@@ -141,6 +141,12 @@ class DedupeCluster(ClusterView):
     def read_chunk(self, node_id: int, fingerprint: bytes, container_id: Optional[int] = None) -> bytes:
         return self.node(node_id).read_chunk(fingerprint, container_id=container_id)
 
+    def read_chunks(
+        self, node_id: int, requests: "Sequence[tuple[bytes, Optional[int]]]"
+    ) -> List[bytes]:
+        """Bulk restore reads against one node (grouped per container there)."""
+        return self.node(node_id).read_chunks(requests)
+
     # ------------------------------------------------------------------ #
     # cluster-wide statistics
     # ------------------------------------------------------------------ #

@@ -8,6 +8,7 @@ consists of backup session management and file recipe management."
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -41,12 +42,19 @@ class BackupSession:
 
 
 class Director:
-    """Tracks backup sessions and file recipes for the whole cluster."""
+    """Tracks backup sessions and file recipes for the whole cluster.
+
+    Session bookkeeping and recipe recording are guarded by one re-entrant
+    lock, so concurrent session writers -- parallel ingest consumers,
+    overlapping backup clients -- can open sessions and append chunk
+    locations without corrupting each other's recipes.
+    """
 
     def __init__(self):
         self._sessions: Dict[str, BackupSession] = {}
         self._recipes: Dict[str, Dict[str, FileRecipe]] = {}
         self._session_counter = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # session management
@@ -54,16 +62,18 @@ class Director:
 
     def open_session(self, client_id: str, label: str = "") -> BackupSession:
         """Create a new backup session for ``client_id``."""
-        self._session_counter += 1
-        session_id = f"session-{self._session_counter:06d}"
-        session = BackupSession(session_id=session_id, client_id=client_id, label=label)
-        self._sessions[session_id] = session
-        self._recipes[session_id] = {}
-        return session
+        with self._lock:
+            self._session_counter += 1
+            session_id = f"session-{self._session_counter:06d}"
+            session = BackupSession(session_id=session_id, client_id=client_id, label=label)
+            self._sessions[session_id] = session
+            self._recipes[session_id] = {}
+            return session
 
     def close_session(self, session_id: str) -> None:
-        session = self.get_session(session_id)
-        session.closed = True
+        with self._lock:
+            session = self.get_session(session_id)
+            session.closed = True
 
     def get_session(self, session_id: str) -> BackupSession:
         try:
@@ -85,17 +95,18 @@ class Director:
         self, session_id: str, path: str, locations: List[ChunkLocation]
     ) -> FileRecipe:
         """Append chunk locations to the recipe of ``path`` in ``session_id``."""
-        session = self.get_session(session_id)
-        if session.closed:
-            raise RecipeError(f"session {session_id} is closed; cannot record more files")
-        recipes = self._recipes[session_id]
-        recipe = recipes.get(path)
-        if recipe is None:
-            recipe = FileRecipe(path=path, session_id=session_id)
-            recipes[path] = recipe
-            session.file_paths.append(path)
-        recipe.extend(locations)
-        return recipe
+        with self._lock:
+            session = self.get_session(session_id)
+            if session.closed:
+                raise RecipeError(f"session {session_id} is closed; cannot record more files")
+            recipes = self._recipes[session_id]
+            recipe = recipes.get(path)
+            if recipe is None:
+                recipe = FileRecipe(path=path, session_id=session_id)
+                recipes[path] = recipe
+                session.file_paths.append(path)
+            recipe.extend(locations)
+            return recipe
 
     def get_recipe(self, session_id: str, path: str) -> FileRecipe:
         self.get_session(session_id)

@@ -13,6 +13,7 @@ fingerprints of a 1 MB / 4 KB super-chunk).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict
@@ -34,14 +35,22 @@ class MessageType(Enum):
 
 @dataclass
 class MessageCounter:
-    """Accumulates fingerprint-lookup message counts by category."""
+    """Accumulates fingerprint-lookup message counts by category.
+
+    Recording is thread-safe: concurrent backup sessions and parallel ingest
+    consumers account their traffic against one shared counter.
+    """
 
     counts: Dict[MessageType, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, message_type: MessageType, count: int = 1) -> None:
         if count < 0:
             raise ValueError("message count cannot be negative")
-        self.counts[message_type] = self.counts.get(message_type, 0) + count
+        with self._lock:
+            self.counts[message_type] = self.counts.get(message_type, 0) + count
 
     def get(self, message_type: MessageType) -> int:
         return self.counts.get(message_type, 0)

@@ -3,25 +3,73 @@
 Restore is the inverse of backup: for every chunk location of a file recipe
 the manager reads the chunk payload from the owning node's container store and
 concatenates the payloads in recipe order.
+
+Mirroring the write side's batched data plane, reads are batched by default:
+recipe locations are gathered into windows, grouped by (node, container) and
+issued as bulk :meth:`~repro.node.dedupe_node.DedupeNode.read_chunks` calls,
+so each container -- and, with a spill backend, each container's data-section
+file -- is read once per window instead of once per chunk.  The seed's
+chunk-at-a-time execution is kept as the reference path
+(``RestoreManager(batch_reads=False)``), exactly as the node keeps its
+per-chunk plane.
+
+Every chunk is verified against its recipe before it is counted or yielded: a
+payload whose length disagrees with the recipe raises
+:class:`~repro.errors.RestoreIntegrityError` (a chunk that cannot be read at
+all still raises :class:`~repro.errors.ChunkNotFoundError`), and
+``chunks_read`` / ``bytes_restored`` only ever account verified chunks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
-from repro.errors import ChunkNotFoundError, RecipeError
+from repro.cluster.recipe import ChunkLocation, FileRecipe
+from repro.errors import RecipeError, RestoreIntegrityError
+
+DEFAULT_RESTORE_BATCH_CHUNKS = 1024
+"""Recipe locations gathered per batched-read window (~4 MB of 4 KB chunks):
+large enough to fold a window's reads into one read per distinct container,
+small enough that streaming restores stay bounded by the window."""
 
 
 class RestoreManager:
-    """Restores files of a backup session from a cluster."""
+    """Restores files of a backup session from a cluster.
 
-    def __init__(self, cluster: DedupeCluster, director: Director):
+    Parameters
+    ----------
+    cluster / director:
+        Where chunk payloads live and where file recipes are tracked.
+    batch_reads:
+        ``True`` (default) groups each window of recipe locations by
+        (node, container) and issues bulk reads; ``False`` is the seed
+        chunk-at-a-time reference path.
+    batch_chunks:
+        Window size, in recipe locations, for the batched path (also the
+        memory bound of :meth:`iter_restore_file`).
+    """
+
+    def __init__(
+        self,
+        cluster: DedupeCluster,
+        director: Director,
+        batch_reads: bool = True,
+        batch_chunks: int = DEFAULT_RESTORE_BATCH_CHUNKS,
+    ):
+        if batch_chunks < 1:
+            raise ValueError("batch_chunks must be positive")
         self.cluster = cluster
         self.director = director
+        self.batch_reads = batch_reads
+        self.batch_chunks = batch_chunks
         self.chunks_read = 0
         self.bytes_restored = 0
+
+    # ------------------------------------------------------------------ #
+    # file restore
+    # ------------------------------------------------------------------ #
 
     def restore_file(self, session_id: str, path: str) -> bytes:
         """Reassemble one file from its recipe.
@@ -32,23 +80,79 @@ class RestoreManager:
             If the file has no recipe in the session.
         ChunkNotFoundError
             If a chunk referenced by the recipe cannot be read back.
+        RestoreIntegrityError
+            If a chunk reads back with a length that disagrees with the
+            recipe (the chunk is not counted as restored).
+        """
+        return b"".join(self.iter_restore_file(session_id, path))
+
+    def iter_restore_file(self, session_id: str, path: str) -> Iterator[bytes]:
+        """Stream one file's payload in recipe order, chunk by chunk.
+
+        The whole file is never materialised: the batched path holds one
+        window of chunk payloads at a time, the per-chunk path exactly one
+        chunk.  Chunks are verified against the recipe (and counted) as they
+        are yielded, so a consumer that stops early has read only verified
+        data.  Raises as :meth:`restore_file`.
         """
         recipe = self.director.get_recipe(session_id, path)
         recipe.validate()
-        pieces = []
+        if self.batch_reads:
+            return self._iter_batched(recipe)
+        return self._iter_per_chunk(recipe)
+
+    def _iter_per_chunk(self, recipe: FileRecipe) -> Iterator[bytes]:
+        """The seed reference path: one cluster read per recipe location."""
         for location in recipe.chunks:
             data = self.cluster.read_chunk(
                 location.node_id, location.fingerprint, container_id=location.container_id
             )
-            if len(data) != location.length:
-                raise ChunkNotFoundError(
-                    f"chunk {location.fingerprint.hex()} of {path!r} restored with "
-                    f"{len(data)} bytes, recipe says {location.length}"
-                )
-            pieces.append(data)
-            self.chunks_read += 1
-            self.bytes_restored += len(data)
-        return b"".join(pieces)
+            self._verify(recipe.path, location, data)
+            yield data
+
+    def _iter_batched(self, recipe: FileRecipe) -> Iterator[bytes]:
+        """The batched path: windows of grouped (node, container) bulk reads."""
+        chunks = recipe.chunks
+        window_size = self.batch_chunks
+        for start in range(0, len(chunks), window_size):
+            window = chunks[start:start + window_size]
+            for location, data in zip(window, self._read_window(window)):
+                self._verify(recipe.path, location, data)
+                yield data
+
+    def _read_window(self, window: List[ChunkLocation]) -> List[bytes]:
+        """Read one window of recipe locations with one bulk call per node.
+
+        Each node groups its requests by container, so every distinct
+        container in the window is read exactly once; payloads come back in
+        window (= recipe) order.
+        """
+        by_node: Dict[int, List[int]] = {}
+        for position, location in enumerate(window):
+            by_node.setdefault(location.node_id, []).append(position)
+        payloads: List[Optional[bytes]] = [None] * len(window)
+        for node_id, positions in by_node.items():
+            requests: List[Tuple[bytes, Optional[int]]] = [
+                (window[position].fingerprint, window[position].container_id)
+                for position in positions
+            ]
+            for position, data in zip(positions, self.cluster.read_chunks(node_id, requests)):
+                payloads[position] = data
+        return payloads  # type: ignore[return-value]
+
+    def _verify(self, path: str, location: ChunkLocation, data: bytes) -> None:
+        """Check one payload against its recipe entry; count it only if good."""
+        if len(data) != location.length:
+            raise RestoreIntegrityError(
+                f"chunk {location.fingerprint.hex()} of {path!r} restored with "
+                f"{len(data)} bytes, recipe says {location.length}"
+            )
+        self.chunks_read += 1
+        self.bytes_restored += location.length
+
+    # ------------------------------------------------------------------ #
+    # session restore
+    # ------------------------------------------------------------------ #
 
     def restore_session(self, session_id: str) -> Iterator[Tuple[str, bytes]]:
         """Yield ``(path, data)`` for every file of a backup session."""

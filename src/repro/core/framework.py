@@ -8,7 +8,7 @@ framework through one object.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.chunking import build_chunker
 from repro.chunking.base import Chunker
@@ -79,6 +79,15 @@ class SigmaDedupe:
         ``storage_dir`` is where disk-backed backends write (one ``node-<id>``
         subdirectory per node).  Passing only ``storage_dir`` implies the
         ``"file"`` backend.
+    workers:
+        Default number of parallel ingest lanes for every backup client of
+        this framework (overridable per backup call).  ``None`` defers to the
+        ``REPRO_INGEST_WORKERS`` environment variable, falling back to serial
+        ingest.  Parallel ingest is result-identical to serial ingest; the
+        lanes only fan out the chunk+fingerprint front end.
+    parallel_executor:
+        ``"thread"`` (default) or ``"process"`` lanes; see
+        :class:`~repro.parallel.engine.ParallelIngestEngine`.
     """
 
     def __init__(
@@ -92,6 +101,8 @@ class SigmaDedupe:
         fingerprint_algorithm: str = "sha1",
         container_backend: Optional[str] = None,
         storage_dir: Optional[str] = None,
+        workers: Optional[int] = None,
+        parallel_executor: str = "thread",
     ):
         if isinstance(routing, str):
             try:
@@ -121,6 +132,8 @@ class SigmaDedupe:
             handprint_size=handprint_size,
             fingerprint_algorithm=fingerprint_algorithm,
         )
+        self.workers = workers
+        self.parallel_executor = parallel_executor
         self._clients: Dict[str, BackupClient] = {}
 
     # ------------------------------------------------------------------ #
@@ -135,6 +148,8 @@ class SigmaDedupe:
                 cluster=self.cluster,
                 director=self.director,
                 partitioner_config=self._partitioner_config,
+                workers=self.workers,
+                parallel_executor=self.parallel_executor,
             )
         return self._clients[client_id]
 
@@ -147,14 +162,16 @@ class SigmaDedupe:
         files: Iterable[Tuple[str, FilePayload]],
         client_id: str = "default",
         session_label: str = "",
+        workers: Optional[int] = None,
     ) -> BackupReport:
         """Back up ``(path, payload)`` pairs as one session and return a summary.
 
         Payloads may be byte buffers or iterables of byte blocks; block
-        payloads stream through the client in bounded memory.
+        payloads stream through the client in bounded memory.  ``workers``
+        overrides the framework's parallel-lane default for this call.
         """
         client = self.client(client_id)
-        report = client.backup_files(files, session_label=session_label)
+        report = client.backup_files(files, session_label=session_label, workers=workers)
         return BackupReport.from_client_report(report, self.cluster)
 
     def backup_stream(
@@ -163,15 +180,27 @@ class SigmaDedupe:
         path: str = "stream",
         client_id: str = "default",
         session_label: str = "",
+        workers: Optional[int] = None,
     ) -> BackupReport:
         """Ingest one (possibly unbounded) block stream as a single object."""
         client = self.client(client_id)
-        report = client.backup_stream(blocks, path=path, session_label=session_label)
+        report = client.backup_stream(
+            blocks, path=path, session_label=session_label, workers=workers
+        )
         return BackupReport.from_client_report(report, self.cluster)
 
     def restore(self, session_id: str, path: str) -> bytes:
         """Restore one file from a previous backup session."""
         return self.restore_manager.restore_file(session_id, path)
+
+    def iter_restore_file(self, session_id: str, path: str) -> Iterator[bytes]:
+        """Stream one file's restored payload chunk-run by chunk-run.
+
+        Reads are batched per (node, container) window like
+        :meth:`restore`, but the file is never materialised: payloads are
+        yielded in recipe order as each window is verified.
+        """
+        return self.restore_manager.iter_restore_file(session_id, path)
 
     def restore_session(self, session_id: str) -> List[Tuple[str, bytes]]:
         """Restore every file of a session as a list of ``(path, data)``."""

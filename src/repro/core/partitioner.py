@@ -155,15 +155,34 @@ class StreamPartitioner:
         ``(None, contributions)`` pair is yielded: there is nothing to route,
         but the recipes must not be lost.
         """
+        return self.partition_file_records(
+            ((path, self.iter_chunk_records(data)) for path, data in files),
+            stream_id=stream_id,
+        )
+
+    def partition_file_records(
+        self,
+        file_records_stream: Iterable[Tuple[str, Iterable[ChunkRecord]]],
+        stream_id: int = 0,
+    ) -> Iterator[Tuple[Optional[SuperChunk], List[Tuple[str, List[ChunkRecord]]]]]:
+        """Group already-fingerprinted per-file record streams into super-chunks.
+
+        The grouping core of :meth:`partition_files`, split out so producers
+        that compute chunk records elsewhere -- in particular the parallel
+        ingest engine's worker lanes -- share the exact same super-chunk
+        boundaries, contribution bookkeeping and zero-byte-file semantics as
+        the serial path.  Record iterables are consumed strictly in stream
+        order, one file at a time.
+        """
         pending: List[ChunkRecord] = []
         pending_files: List[Tuple[str, List[ChunkRecord]]] = []
         pending_bytes = 0
         sequence = 0
 
-        for path, data in files:
+        for path, records in file_records_stream:
             file_records: Optional[List[ChunkRecord]] = None
             file_has_records = False
-            for record in self.iter_chunk_records(data):
+            for record in records:
                 file_has_records = True
                 if file_records is None:
                     file_records = []

@@ -37,6 +37,15 @@ class ChunkNotFoundError(StorageError):
     """Raised when a chunk fingerprint cannot be resolved during restore."""
 
 
+class RestoreIntegrityError(StorageError):
+    """Raised when a restored chunk payload disagrees with its file recipe.
+
+    Distinct from :class:`ChunkNotFoundError`: the chunk *was* found and read
+    back, but its content does not match what the recipe recorded (e.g. a
+    length mismatch from a corrupted container).  Chunks that fail integrity
+    verification are never counted as restored."""
+
+
 class RoutingError(ReproError):
     """Raised when a data-routing scheme cannot produce a target node."""
 

@@ -30,8 +30,9 @@ Two executions of this pipeline exist:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.superchunk import SuperChunk
 from repro.errors import ChunkNotFoundError
@@ -137,6 +138,12 @@ class DedupeNode:
         )
         self.disk_index = DiskChunkIndex(enabled=self.config.enable_disk_index)
         self.stats = NodeStats()
+        # The data plane is deliberately single-writer per node: concurrent
+        # ingest lanes parallelise the chunk+fingerprint front end, while
+        # super-chunks entering this node serialise here (the plane itself is
+        # an order of magnitude faster than the front end, so the lock is not
+        # the scaling limit).  Different nodes still ingest concurrently.
+        self._plane_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # routing support (pre-routing query)
@@ -185,10 +192,17 @@ class DedupeNode:
         self.stats.container_prefetches += 1
 
     def backup_superchunk(self, superchunk: SuperChunk) -> SuperChunkBackupResult:
-        """Deduplicate and store one super-chunk routed to this node."""
-        if self.config.batch_execution:
-            return self._backup_superchunk_batched(superchunk)
-        return self._backup_superchunk_per_chunk(superchunk)
+        """Deduplicate and store one super-chunk routed to this node.
+
+        Safe under concurrent callers (parallel ingest lanes, concurrent
+        backup sessions): super-chunks execute the data plane one at a time
+        per node, so statistics, cache state and container layout evolve
+        exactly as a serial arrival order would produce them.
+        """
+        with self._plane_lock:
+            if self.config.batch_execution:
+                return self._backup_superchunk_batched(superchunk)
+            return self._backup_superchunk_per_chunk(superchunk)
 
     def _backup_superchunk_batched(self, superchunk: SuperChunk) -> SuperChunkBackupResult:
         """The batched node data plane.
@@ -469,21 +483,27 @@ class DedupeNode:
         )
 
     def flush(self) -> None:
-        """Seal open containers at the end of a backup session."""
-        self.container_store.flush()
+        """Seal open containers at the end of a backup session.
+
+        Taken under the plane lock so a flush from one session never
+        interleaves inside another lane's in-flight super-chunk.
+        """
+        with self._plane_lock:
+            self.container_store.flush()
 
     # ------------------------------------------------------------------ #
     # restore path
     # ------------------------------------------------------------------ #
 
-    def read_chunk(self, fingerprint: bytes, container_id: Optional[int] = None) -> bytes:
-        """Return the payload of a stored chunk for restore.
+    def _resolve_restore_container(
+        self, fingerprint: bytes, container_id: Optional[int]
+    ) -> int:
+        """Resolve where a chunk lives for restore, without touching statistics.
 
-        If the container id is known from the file recipe it is used directly;
-        otherwise the node falls back to its cache and disk index.  Restores
-        are read-only with respect to the backup path's statistics: both
-        fallbacks peek, so restoring never skews ``cache_hit_ratio``, LRU
-        eviction order or the disk index I/O counters.
+        A container id known from the file recipe is used directly; otherwise
+        the node falls back to read-only peeks of its cache and disk index,
+        so restoring never skews ``cache_hit_ratio``, LRU eviction order or
+        the disk index I/O counters.
         """
         if container_id is None:
             container_id = self.fingerprint_cache.peek(fingerprint)
@@ -493,6 +513,15 @@ class DedupeNode:
             raise ChunkNotFoundError(
                 f"chunk {fingerprint.hex()} is not stored on node {self.node_id}"
             )
+        return container_id
+
+    def read_chunk(self, fingerprint: bytes, container_id: Optional[int] = None) -> bytes:
+        """Return the payload of a stored chunk for restore.
+
+        Read-only with respect to the backup path's statistics (see
+        :meth:`_resolve_restore_container`).
+        """
+        container_id = self._resolve_restore_container(fingerprint, container_id)
         data = self.container_store.read_chunk(container_id, fingerprint)
         if data is None:
             raise ChunkNotFoundError(
@@ -500,6 +529,33 @@ class DedupeNode:
                 f"chunk {fingerprint.hex()}"
             )
         return data
+
+    def read_chunks(
+        self, requests: Sequence[Tuple[bytes, Optional[int]]]
+    ) -> List[bytes]:
+        """Bulk restore reads: payloads aligned with ``(fingerprint,
+        container_id)`` requests.
+
+        The batched restore path: container ids missing from a recipe are
+        resolved through the same read-only peeks as :meth:`read_chunk`, then
+        the whole batch goes through one grouped
+        :meth:`~repro.storage.container_store.ContainerStore.read_chunks`
+        call, so each distinct container is read (and, when spilled, its data
+        section loaded) once for the batch.  Statistics stay untouched, as on
+        every restore path.
+        """
+        resolved: List[Tuple[int, bytes]] = [
+            (self._resolve_restore_container(fingerprint, container_id), fingerprint)
+            for fingerprint, container_id in requests
+        ]
+        payloads = self.container_store.read_chunks(resolved)
+        for (container_id, fingerprint), payload in zip(resolved, payloads):
+            if payload is None:
+                raise ChunkNotFoundError(
+                    f"container {container_id} on node {self.node_id} does not hold "
+                    f"chunk {fingerprint.hex()}"
+                )
+        return payloads  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     # reporting

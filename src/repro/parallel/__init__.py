@@ -3,10 +3,22 @@
 The paper develops parallel deduplication on multiple data streams per node
 ("we assign a deduplication thread for each data stream") and measures how
 chunking, fingerprinting and similarity-index lookup throughput scale with the
-number of streams and locks.  This package provides the thread-based pipeline
-and the measurement helpers the Figure 4 benchmarks use.
+number of streams and locks.  This package provides both halves of that story:
+
+* :class:`~repro.parallel.engine.ParallelIngestEngine` -- the production
+  ingest engine: N worker lanes chunk and fingerprint concurrently behind
+  bounded queues, either re-sequenced for results byte-identical to serial
+  ingest (``BackupClient.backup_files(workers=N)``) or merged as independent
+  concurrent streams.
+* :class:`~repro.parallel.pipeline.ParallelDedupePipeline` and the
+  measurement helpers the Figure 4 benchmarks use.
 """
 
+from repro.parallel.engine import (
+    ENV_INGEST_WORKERS,
+    ParallelIngestEngine,
+    resolve_workers,
+)
 from repro.parallel.pipeline import (
     ParallelDedupePipeline,
     ThroughputSample,
@@ -16,9 +28,12 @@ from repro.parallel.pipeline import (
 )
 
 __all__ = [
+    "ENV_INGEST_WORKERS",
+    "ParallelIngestEngine",
     "ParallelDedupePipeline",
     "ThroughputSample",
     "measure_chunking_throughput",
     "measure_fingerprinting_throughput",
     "measure_similarity_index_lookup",
+    "resolve_workers",
 ]

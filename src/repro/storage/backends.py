@@ -88,6 +88,9 @@ class FileContainerBackend(ContainerBackend):
         self.storage_dir.mkdir(parents=True, exist_ok=True)
         self.spilled_containers = 0
         self.spilled_bytes = 0
+        self.spill_loads = 0
+        """Spill files actually read back from disk (one-slot buffer hits do
+        not count) -- the metric the batched restore path minimises."""
         # One-slot read buffer: consecutive chunk reads from the same sealed
         # container (the common restore pattern) reload its file only once
         # while keeping resident payload bounded to a single container.
@@ -121,6 +124,7 @@ class FileContainerBackend(ContainerBackend):
                 f"spill file for container {container.container_id} is truncated: "
                 f"expected {container.used} bytes, found {len(payload)} ({path})"
             )
+        self.spill_loads += 1
         self._last_loaded = (container.container_id, payload)
         return payload
 

@@ -24,7 +24,7 @@ contiguous layout, so the spilled file and the resident view stay coherent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from repro.errors import ContainerFullError, ContainerNotFoundError, StorageError
 from repro.fingerprint.fingerprinter import ChunkRecord
@@ -214,6 +214,33 @@ class Container:
         entry = self._metadata[position]
         payload = self.payload_bytes()
         return payload[entry.offset:entry.offset + entry.length]
+
+    def read_chunks(self, fingerprints: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Bulk :meth:`read_chunk`: payloads aligned with ``fingerprints``.
+
+        The batched restore read path: an evicted data section is loaded
+        through the backend exactly once for the whole batch instead of once
+        per chunk, which is what turns spill restores from one file reload
+        per chunk into one per container.
+        """
+        positions = [self._index_of.get(fingerprint) for fingerprint in fingerprints]
+        parts = self._parts
+        if parts is not None:
+            return [
+                parts[position] if position is not None else None
+                for position in positions
+            ]
+        payload: Optional[bytes] = None
+        results: List[Optional[bytes]] = []
+        for position in positions:
+            if position is None:
+                results.append(None)
+                continue
+            if payload is None:
+                payload = self.payload_bytes()
+            entry = self._metadata[position]
+            results.append(payload[entry.offset:entry.offset + entry.length])
+        return results
 
     def metadata_section(self) -> List[ContainerMetadataEntry]:
         """The metadata section (copied), what a prefetch reads from disk."""

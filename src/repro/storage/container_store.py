@@ -11,7 +11,7 @@ All disk accesses are performed at the granularity of a container."
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ContainerNotFoundError
 from repro.fingerprint.fingerprinter import ChunkRecord
@@ -203,6 +203,33 @@ class ContainerStore:
         """
         container = self.read_container(container_id)
         return container.read_chunk(fingerprint)
+
+    def read_chunks(
+        self, requests: Sequence[Tuple[int, bytes]]
+    ) -> List[Optional[bytes]]:
+        """Bulk chunk reads grouped by container: the batched restore path.
+
+        ``requests`` is a sequence of ``(container_id, fingerprint)`` pairs in
+        any order; payloads come back aligned with it.  Each distinct
+        container is read exactly once -- one container-granularity read on
+        the I/O counters and, with a spill backend, one data-section load --
+        however many chunks of it the batch wants, versus one read per chunk
+        on the per-chunk path.  An unknown container id raises
+        :class:`~repro.errors.ContainerNotFoundError`; a fingerprint the
+        container does not hold yields ``None`` at its position.
+        """
+        by_container: Dict[int, List[int]] = {}
+        for position, (container_id, _fingerprint) in enumerate(requests):
+            by_container.setdefault(container_id, []).append(position)
+        results: List[Optional[bytes]] = [None] * len(requests)
+        for container_id, positions in by_container.items():
+            container = self.read_container(container_id)
+            payloads = container.read_chunks(
+                [requests[position][1] for position in positions]
+            )
+            for position, payload in zip(positions, payloads):
+                results[position] = payload
+        return results
 
     def prefetch_metadata(self, container_id: int) -> List[bytes]:
         """Read the metadata section of a container: the fingerprint prefetch path."""

@@ -16,6 +16,12 @@ class TestHierarchy:
         assert issubclass(errors.ContainerFullError, errors.StorageError)
         assert issubclass(errors.ContainerNotFoundError, errors.StorageError)
         assert issubclass(errors.ChunkNotFoundError, errors.StorageError)
+        assert issubclass(errors.RestoreIntegrityError, errors.StorageError)
+
+    def test_integrity_error_distinct_from_not_found(self):
+        # Integrity failures must not be conflated with missing chunks.
+        assert not issubclass(errors.RestoreIntegrityError, errors.ChunkNotFoundError)
+        assert not issubclass(errors.ChunkNotFoundError, errors.RestoreIntegrityError)
 
     def test_cluster_errors(self):
         assert issubclass(errors.NodeNotFoundError, errors.ClusterError)

@@ -194,7 +194,7 @@ class TestNodeLevelEquivalence:
                 assert batched.read_chunk(chunk.fingerprint) == chunk.data
 
 
-def run_cluster_session(tmp_path=None, batch_execution=True, storage_dir=None):
+def run_cluster_session(tmp_path=None, batch_execution=True, storage_dir=None, workers=None):
     """One multi-generation backup+restore session against a full cluster."""
     node_config = NodeConfig(container_capacity=64 * 1024, batch_execution=batch_execution)
     framework = SigmaDedupe(
@@ -204,6 +204,7 @@ def run_cluster_session(tmp_path=None, batch_execution=True, storage_dir=None):
         superchunk_size=16 * 1024,
         node_config=node_config,
         storage_dir=storage_dir,
+        workers=workers,
     )
     rng = random.Random(1337)
     files = [
@@ -255,3 +256,38 @@ class TestClusterLevelEquivalence:
         for mode in (per_chunk, batched, spilled):
             assert mode["restored"] == mode["expected"]
         assert per_chunk["restored"] == batched["restored"] == spilled["restored"]
+
+
+class TestParallelIngestEquivalence:
+    """Parallel ingest lanes must be invisible: every observable surface --
+    reports, cluster/node statistics, message accounting, restored bytes --
+    matches serial ingest for any worker count, on both container backends."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_match_serial_memory_backend(self, workers):
+        serial = run_cluster_session()
+        parallel = run_cluster_session(workers=workers)
+        assert serial["reports"] == parallel["reports"]
+        assert serial["cluster_describe"] == parallel["cluster_describe"]
+        assert serial["node_describes"] == parallel["node_describes"]
+        assert parallel["restored"] == parallel["expected"]
+        assert serial["restored"] == parallel["restored"]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_match_serial_file_backend(self, workers, tmp_path):
+        serial = run_cluster_session(storage_dir=str(tmp_path / "serial"))
+        parallel = run_cluster_session(
+            workers=workers, storage_dir=str(tmp_path / f"workers-{workers}")
+        )
+        assert serial["reports"] == parallel["reports"]
+        assert serial["cluster_describe"] == parallel["cluster_describe"]
+        assert serial["node_describes"] == parallel["node_describes"]
+        assert parallel["restored"] == parallel["expected"]
+
+    def test_workers_match_serial_per_chunk_plane(self):
+        # Parallel lanes compose with the per-chunk reference node plane too.
+        serial = run_cluster_session(batch_execution=False)
+        parallel = run_cluster_session(batch_execution=False, workers=4)
+        assert serial["reports"] == parallel["reports"]
+        assert serial["node_describes"] == parallel["node_describes"]
+        assert parallel["restored"] == parallel["expected"]

@@ -124,3 +124,47 @@ class TestStreamingBackup:
             return node.stats.unique_chunks, node.stats.physical_bytes
 
         assert run([iter([data[0][:10_000], data[0][10_000:]])]) == run(list(data))
+
+    def test_superchunks_flow_through_bounded_queues(self):
+        """The timed phase must start while streams are still being consumed:
+        the seed harness buffered every stream's super-chunks (payloads
+        included) before backing anything up."""
+        node = DedupeNode(0)
+        pipeline = ParallelDedupePipeline(node)
+        total_blocks = 40
+        consumed = []
+
+        def blocks():
+            for index in range(total_blocks):
+                consumed.append(index)
+                yield deterministic_bytes(8 * 1024, seed=index)
+
+        consumed_at_first_backup = []
+        original = node.backup_superchunk
+
+        def tracking_backup(superchunk):
+            if not consumed_at_first_backup:
+                consumed_at_first_backup.append(len(consumed))
+            return original(superchunk)
+
+        node.backup_superchunk = tracking_backup
+        sample = pipeline.backup_data_streams(
+            [blocks()], chunker=StaticChunker(1024), superchunk_size=8 * 1024,
+            handprint_size=4,
+        )
+        assert sample.bytes_processed == total_blocks * 8 * 1024
+        assert consumed_at_first_backup[0] < total_blocks
+
+    def test_sample_shape_is_preserved(self):
+        node = DedupeNode(0)
+        pipeline = ParallelDedupePipeline(node)
+        streams = [deterministic_bytes(16 * 1024, seed=i) for i in range(2)]
+        sample = pipeline.backup_data_streams(
+            streams, chunker=StaticChunker(1024), superchunk_size=8 * 1024,
+            handprint_size=4,
+        )
+        assert sample.label == "parallel-dedupe"
+        assert sample.num_streams == 2
+        assert sample.items_processed == 2 * 16
+        assert sample.elapsed_seconds > 0
+        assert sample.megabytes_per_second > 0

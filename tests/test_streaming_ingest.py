@@ -139,21 +139,23 @@ class TestBackupStream:
 
     def test_backup_bytes_threads_stream_id(self):
         data = deterministic_bytes(3000, seed=6)
-        _, _, client, _ = make_stack()
+        cluster, _, client, _ = make_stack()
         partitioned = client.partitioner.partition(data, stream_id=7)
         assert all(sc.stream_id == 7 for sc in partitioned)
-        # The client-level wrapper must propagate the same stream id.
+        # The client-level wrappers must propagate the same stream id all the
+        # way to the routed super-chunks (spied at the cluster boundary so the
+        # contract holds for serial and parallel ingest alike).
         seen = []
-        original = client.partitioner.partition_files
+        original = cluster.backup_superchunk
 
-        def spy(files, stream_id=0):
-            seen.append(stream_id)
-            return original(files, stream_id=stream_id)
+        def spy(superchunk, decision=None):
+            seen.append(superchunk.stream_id)
+            return original(superchunk, decision)
 
-        client.partitioner.partition_files = spy
+        cluster.backup_superchunk = spy
         client.backup_bytes("a.bin", data, stream_id=7)
         client.backup_stream(iter([data]), path="b.bin", stream_id=9)
-        assert seen == [7, 9]
+        assert sorted(set(seen)) == [7, 9]
 
     def test_zero_byte_files_restore_even_when_trailing(self):
         # Regression: an empty file at the end of a session (or an
