@@ -1,0 +1,51 @@
+"""Static-analysis plane: repo-specific invariant checkers + debug runtime.
+
+PR 4-5 made the system concurrent and conventions-heavy; this package turns
+those conventions into machine-checked contracts:
+
+* :mod:`repro.analysis.lock_discipline` -- ``# guarded-by`` / ``# holds-lock``
+  annotated attributes may only be touched under their lock;
+* :mod:`repro.analysis.stats_purity` -- read paths (restore, routing samples)
+  only use stats-free ``peek`` probes;
+* :mod:`repro.analysis.streaming` -- the ingest path never materialises a
+  whole stream;
+* :mod:`repro.analysis.taxonomy` -- every raise lands in the ReproError
+  hierarchy;
+* :mod:`repro.analysis.runtime` -- the ``REPRO_LOCK_ASSERTS=1`` debug mode
+  backing the static lock checker with runtime ownership assertions.
+
+Run ``python -m repro.analysis --check all`` (the ``static-analysis`` CI job
+does) to verify the tree.
+"""
+
+from repro.analysis.cli import CHECKERS, default_root, main, run_checks
+from repro.analysis.common import Checker, Finding
+from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.runtime import (
+    ENV_LOCK_ASSERTS,
+    OwnershipLock,
+    assert_owned,
+    guarded_lock,
+    lock_asserts_enabled,
+)
+from repro.analysis.stats_purity import StatsPurityChecker
+from repro.analysis.streaming import StreamingDisciplineChecker
+from repro.analysis.taxonomy import ErrorTaxonomyChecker
+
+__all__ = [
+    "CHECKERS",
+    "Checker",
+    "ENV_LOCK_ASSERTS",
+    "ErrorTaxonomyChecker",
+    "Finding",
+    "LockDisciplineChecker",
+    "OwnershipLock",
+    "StatsPurityChecker",
+    "StreamingDisciplineChecker",
+    "assert_owned",
+    "default_root",
+    "guarded_lock",
+    "lock_asserts_enabled",
+    "main",
+    "run_checks",
+]

@@ -34,6 +34,7 @@ from repro.chunking.rabin import (
     _MASK64,
     _MULTIPLIER,
 )
+from repro.errors import ValidationError
 
 #: Upper bound for divisor search; far beyond any realistic chunk size.
 _MAX_DIVISOR = 1 << 40
@@ -101,12 +102,12 @@ class ContentDefinedChunker(Chunker):
         window_size: int = RABIN_WINDOW_SIZE,
     ):
         if average_size < 64:
-            raise ValueError("average_size must be >= 64 bytes")
+            raise ValidationError("average_size must be >= 64 bytes")
         self._average_size = average_size
         self.min_size = min_size if min_size is not None else average_size // 4
         self.max_size = max_size if max_size is not None else average_size * 4
         if self.min_size < 1 or self.min_size >= self.max_size:
-            raise ValueError("require 1 <= min_size < max_size")
+            raise ValidationError("require 1 <= min_size < max_size")
         self.window_size = window_size
         self._divisor = solve_divisor(average_size, self.min_size, self.max_size)
         self._magic = self._divisor - 1

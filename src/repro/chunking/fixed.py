@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.chunking.base import Chunker, RawChunk
+from repro.errors import ValidationError
 
 
 class StaticChunker(Chunker):
@@ -26,7 +27,7 @@ class StaticChunker(Chunker):
 
     def __init__(self, chunk_size: int = 4096):
         if chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
+            raise ValidationError("chunk_size must be >= 1")
         self._chunk_size = chunk_size
 
     @property

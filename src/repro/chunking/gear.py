@@ -34,6 +34,7 @@ import hashlib
 from typing import Iterator, List, Tuple
 
 from repro.chunking.base import Chunker, RawChunk
+from repro.errors import ValidationError
 
 _MASK64 = (1 << 64) - 1
 
@@ -133,14 +134,14 @@ class GearChunker(Chunker):
         normalization: int = DEFAULT_NORMALIZATION,
     ):
         if average_size < 64:
-            raise ValueError("average_size must be >= 64 bytes")
+            raise ValidationError("average_size must be >= 64 bytes")
         if normalization < 0:
-            raise ValueError("normalization must be >= 0")
+            raise ValidationError("normalization must be >= 0")
         self._average_size = average_size
         self.min_size = min_size if min_size is not None else average_size // 4
         self.max_size = max_size if max_size is not None else average_size * 4
         if self.min_size < 1 or self.min_size >= self.max_size:
-            raise ValueError("require 1 <= min_size < max_size")
+            raise ValidationError("require 1 <= min_size < max_size")
         self.normalization = normalization
         bits = max(1, round((average_size - 1).bit_length()))
         strict_bits = min(62, bits + normalization)

@@ -15,6 +15,7 @@ process with probability 1/divisor per position).
 from __future__ import annotations
 
 from typing import Sequence
+from repro.errors import ValidationError
 
 #: Sliding window width in bytes, the value used by Cumulus and LBFS-style CDC.
 RABIN_WINDOW_SIZE = 48
@@ -38,7 +39,7 @@ class RabinRollingHash:
 
     def __init__(self, window_size: int = RABIN_WINDOW_SIZE):
         if window_size < 1:
-            raise ValueError("window_size must be >= 1")
+            raise ValidationError("window_size must be >= 1")
         self.window_size = window_size
         self._out_table = self._build_out_table(window_size)
         self.reset()

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.chunking.base import Chunker, RawChunk
 from repro.chunking.rabin import RabinRollingHash, RABIN_WINDOW_SIZE
+from repro.errors import ValidationError
 
 
 class TTTDChunker(Chunker):
@@ -46,7 +47,7 @@ class TTTDChunker(Chunker):
         window_size: int = RABIN_WINDOW_SIZE,
     ):
         if not min_size < backup_mean < main_mean < max_size:
-            raise ValueError("require min_size < backup_mean < main_mean < max_size")
+            raise ValidationError("require min_size < backup_mean < main_mean < max_size")
         self.min_size = min_size
         self.backup_mean = backup_mean
         self.main_mean = main_mean

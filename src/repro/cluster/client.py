@@ -11,12 +11,14 @@ transfer, and only the unique data chunks are transferred over the network."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.cluster.recipe import ChunkLocation
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
+from repro.core.superchunk import SuperChunk
+from repro.fingerprint.fingerprinter import ChunkRecord
 from repro.parallel.engine import ParallelIngestEngine, resolve_workers
 
 
@@ -89,7 +91,7 @@ class BackupClient:
 
     def _partition(
         self, files: Iterable[Tuple[str, FilePayload]], stream_id: int, workers: Optional[int]
-    ):
+    ) -> Iterator[Tuple[Optional[SuperChunk], List[Tuple[str, List[ChunkRecord]]]]]:
         """The session's ``(superchunk, contributions)`` source: the serial
         partitioner, or the parallel engine when more than one lane is asked
         for (identical output either way)."""

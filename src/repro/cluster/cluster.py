@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.message import MessageCounter, MessageType
 from repro.core.superchunk import SuperChunk
-from repro.errors import NodeNotFoundError
+from repro.errors import NodeNotFoundError, ValidationError
+from repro.fingerprint.handprint import Handprint
 from repro.node.dedupe_node import DedupeNode, NodeConfig, SuperChunkBackupResult
 from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
 from repro.routing.sigma import SigmaRouting
@@ -48,7 +49,7 @@ class DedupeCluster(ClusterView):
         storage_dir: Optional[str] = None,
     ):
         if num_nodes < 1:
-            raise ValueError("a cluster needs at least one node")
+            raise ValidationError("a cluster needs at least one node")
         overrides = {
             key: value
             for key, value in (
@@ -85,7 +86,7 @@ class DedupeCluster(ClusterView):
     def node_storage_usage(self, node_id: int) -> int:
         return self.node(node_id).storage_usage
 
-    def resemblance_query(self, node_id: int, handprint) -> int:
+    def resemblance_query(self, node_id: int, handprint: Handprint) -> int:
         return self.node(node_id).resemblance_query(handprint)
 
     def sample_match_count(self, node_id: int, fingerprints: Sequence[bytes]) -> int:

@@ -8,10 +8,10 @@ consists of backup session management and file recipe management."
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.analysis.runtime import GuardLock, guarded_lock
 from repro.cluster.recipe import ChunkLocation, FileRecipe
 from repro.errors import RecipeError
 
@@ -51,10 +51,10 @@ class Director:
     """
 
     def __init__(self):
-        self._sessions: Dict[str, BackupSession] = {}
-        self._recipes: Dict[str, Dict[str, FileRecipe]] = {}
-        self._session_counter = 0
-        self._lock = threading.RLock()
+        self._sessions: Dict[str, BackupSession] = {}  # guarded-by: _lock
+        self._recipes: Dict[str, Dict[str, FileRecipe]] = {}  # guarded-by: _lock
+        self._session_counter = 0  # guarded-by: _lock
+        self._lock: GuardLock = guarded_lock("Director._lock", reentrant=True)
 
     # ------------------------------------------------------------------ #
     # session management
@@ -76,16 +76,19 @@ class Director:
             session.closed = True
 
     def get_session(self, session_id: str) -> BackupSession:
-        try:
-            return self._sessions[session_id]
-        except KeyError:
-            raise RecipeError(f"unknown backup session {session_id!r}") from None
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise RecipeError(f"unknown backup session {session_id!r}") from None
 
     def sessions(self) -> List[BackupSession]:
-        return list(self._sessions.values())
+        with self._lock:
+            return list(self._sessions.values())
 
     def sessions_for_client(self, client_id: str) -> List[BackupSession]:
-        return [s for s in self._sessions.values() if s.client_id == client_id]
+        with self._lock:
+            return [s for s in self._sessions.values() if s.client_id == client_id]
 
     # ------------------------------------------------------------------ #
     # recipe management
@@ -109,18 +112,23 @@ class Director:
             return recipe
 
     def get_recipe(self, session_id: str, path: str) -> FileRecipe:
-        self.get_session(session_id)
-        recipe = self._recipes[session_id].get(path)
+        with self._lock:
+            self.get_session(session_id)
+            recipe = self._recipes[session_id].get(path)
         if recipe is None:
             raise RecipeError(f"no recipe for {path!r} in session {session_id}")
         return recipe
 
     def has_recipe(self, session_id: str, path: str) -> bool:
-        return session_id in self._recipes and path in self._recipes[session_id]
+        with self._lock:
+            return session_id in self._recipes and path in self._recipes[session_id]
 
     def iter_recipes(self, session_id: str) -> Iterator[FileRecipe]:
-        self.get_session(session_id)
-        return iter(self._recipes[session_id].values())
+        # Snapshot under the lock so iteration never races a concurrent
+        # record_file_chunks inserting into the same session.
+        with self._lock:
+            self.get_session(session_id)
+            return iter(list(self._recipes[session_id].values()))
 
     def files_in_session(self, session_id: str) -> List[str]:
         return list(self.get_session(session_id).file_paths)
@@ -131,13 +139,15 @@ class Director:
 
     def total_logical_bytes(self, session_id: Optional[str] = None) -> int:
         """Logical bytes recorded in recipes (one session, or all sessions)."""
-        if session_id is not None:
-            return sum(recipe.logical_size for recipe in self._recipes[session_id].values())
-        return sum(
-            recipe.logical_size
-            for recipes in self._recipes.values()
-            for recipe in recipes.values()
-        )
+        with self._lock:
+            if session_id is not None:
+                return sum(recipe.logical_size for recipe in self._recipes[session_id].values())
+            return sum(
+                recipe.logical_size
+                for recipes in self._recipes.values()
+                for recipe in recipes.values()
+            )
 
     def file_count(self) -> int:
-        return sum(len(recipes) for recipes in self._recipes.values())
+        with self._lock:
+            return sum(len(recipes) for recipes in self._recipes.values())

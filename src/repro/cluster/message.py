@@ -13,10 +13,11 @@ fingerprints of a 1 MB / 4 KB super-chunk).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict
+from repro.analysis.runtime import GuardLock, guarded_lock
+from repro.errors import ValidationError
 
 
 class MessageType(Enum):
@@ -41,19 +42,23 @@ class MessageCounter:
     consumers account their traffic against one shared counter.
     """
 
-    counts: Dict[MessageType, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, init=False, repr=False, compare=False
+    counts: Dict[MessageType, int] = field(default_factory=dict)  # guarded-by: _lock
+    _lock: GuardLock = field(
+        default_factory=lambda: guarded_lock("MessageCounter._lock"),
+        init=False,
+        repr=False,
+        compare=False,
     )
 
     def record(self, message_type: MessageType, count: int = 1) -> None:
         if count < 0:
-            raise ValueError("message count cannot be negative")
+            raise ValidationError("message count cannot be negative")
         with self._lock:
             self.counts[message_type] = self.counts.get(message_type, 0) + count
 
     def get(self, message_type: MessageType) -> int:
-        return self.counts.get(message_type, 0)
+        with self._lock:
+            return self.counts.get(message_type, 0)
 
     @property
     def pre_routing(self) -> int:
@@ -74,13 +79,20 @@ class MessageCounter:
 
     @property
     def total(self) -> int:
-        return sum(self.counts.values())
+        with self._lock:
+            return sum(self.counts.values())
 
     def merge(self, other: "MessageCounter") -> "MessageCounter":
-        merged = MessageCounter(counts=dict(self.counts))
-        for message_type, count in other.counts.items():
-            merged.counts[message_type] = merged.counts.get(message_type, 0) + count
-        return merged
+        # The two locks are taken one after the other, never nested, so two
+        # threads merging in opposite directions cannot deadlock.
+        with self._lock:
+            merged_counts = dict(self.counts)
+        with other._lock:
+            other_counts = dict(other.counts)
+        for message_type, count in other_counts.items():
+            merged_counts[message_type] = merged_counts.get(message_type, 0) + count
+        return MessageCounter(counts=merged_counts)
 
     def as_dict(self) -> Dict[str, int]:
-        return {message_type.value: count for message_type, count in self.counts.items()}
+        with self._lock:
+            return {message_type.value: count for message_type, count in self.counts.items()}

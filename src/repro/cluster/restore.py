@@ -27,7 +27,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.cluster.recipe import ChunkLocation, FileRecipe
-from repro.errors import RecipeError, RestoreIntegrityError
+from repro.errors import RecipeError, RestoreIntegrityError, ValidationError
 
 DEFAULT_RESTORE_BATCH_CHUNKS = 1024
 """Recipe locations gathered per batched-read window (~4 MB of 4 KB chunks):
@@ -59,7 +59,7 @@ class RestoreManager:
         batch_chunks: int = DEFAULT_RESTORE_BATCH_CHUNKS,
     ):
         if batch_chunks < 1:
-            raise ValueError("batch_chunks must be positive")
+            raise ValidationError("batch_chunks must be positive")
         self.cluster = cluster
         self.director = director
         self.batch_reads = batch_reads
@@ -130,15 +130,16 @@ class RestoreManager:
         by_node: Dict[int, List[int]] = {}
         for position, location in enumerate(window):
             by_node.setdefault(location.node_id, []).append(position)
-        payloads: List[Optional[bytes]] = [None] * len(window)
+        resolved: Dict[int, bytes] = {}
         for node_id, positions in by_node.items():
             requests: List[Tuple[bytes, Optional[int]]] = [
                 (window[position].fingerprint, window[position].container_id)
                 for position in positions
             ]
             for position, data in zip(positions, self.cluster.read_chunks(node_id, requests)):
-                payloads[position] = data
-        return payloads  # type: ignore[return-value]
+                resolved[position] = data
+        # by_node partitions the window's positions, so every one resolved.
+        return [resolved[position] for position in range(len(window))]
 
     def _verify(self, path: str, location: ChunkLocation, data: bytes) -> None:
         """Check one payload against its recipe entry; count it only if good."""

@@ -23,6 +23,7 @@ from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE
 from repro.node.dedupe_node import NodeConfig
 from repro.routing import ALL_SCHEMES
 from repro.routing.base import RoutingScheme
+from repro.errors import ValidationError
 
 
 @dataclass
@@ -108,7 +109,7 @@ class SigmaDedupe:
             try:
                 routing_scheme = ALL_SCHEMES[routing]()
             except KeyError:
-                raise ValueError(
+                raise ValidationError(
                     f"unknown routing scheme {routing!r}; expected one of {sorted(ALL_SCHEMES)}"
                 ) from None
         else:

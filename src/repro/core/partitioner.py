@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from repro.errors import ValidationError
 
 #: A file payload as the partitioner accepts it: a whole buffer or a stream
 #: of byte blocks (which is never concatenated).
@@ -56,9 +57,9 @@ class PartitionerConfig:
 
     def __post_init__(self) -> None:
         if self.superchunk_size < self.chunker.average_chunk_size:
-            raise ValueError("superchunk_size must be at least one average chunk")
+            raise ValidationError("superchunk_size must be at least one average chunk")
         if self.handprint_size < 1:
-            raise ValueError("handprint_size must be >= 1")
+            raise ValidationError("handprint_size must be >= 1")
 
 
 class StreamPartitioner:
@@ -80,7 +81,7 @@ class StreamPartitioner:
 
     def chunk_records(self, data: FilePayload) -> List[ChunkRecord]:
         """Chunk and fingerprint a buffer or block stream into a list."""
-        return list(self.iter_chunk_records(data))
+        return list(self.iter_chunk_records(data))  # streaming-ok: eager convenience wrapper over the lazy API
 
     # ------------------------------------------------------------------ #
     # super-chunk grouping
@@ -127,7 +128,7 @@ class StreamPartitioner:
 
     def partition(self, data: FilePayload, stream_id: int = 0) -> List[SuperChunk]:
         """Full pipeline over one buffer or block stream, as a list."""
-        return list(self.iter_superchunks(data, stream_id=stream_id))
+        return list(self.iter_superchunks(data, stream_id=stream_id))  # streaming-ok: eager convenience wrapper over the lazy API
 
     def partition_files(
         self,
@@ -231,4 +232,4 @@ class StreamPartitioner:
         stream_id: int = 0,
     ) -> List[SuperChunk]:
         """Group pre-fingerprinted records (trace workloads) into super-chunks."""
-        return list(self.group_into_superchunks(records, stream_id=stream_id))
+        return list(self.group_into_superchunks(records, stream_id=stream_id))  # streaming-ok: eager convenience wrapper over the lazy API

@@ -20,6 +20,7 @@ from repro.fingerprint.handprint import (
     Handprint,
     compute_handprint,
 )
+from repro.errors import ValidationError
 
 DEFAULT_SUPERCHUNK_SIZE = 1024 * 1024
 """The 1 MB super-chunk size the paper selects for cluster experiments (Section 4.4)."""
@@ -57,7 +58,7 @@ class SuperChunk:
     ) -> "SuperChunk":
         """Build a super-chunk (and its handprint) from chunk records."""
         if not chunks:
-            raise ValueError("a super-chunk must contain at least one chunk")
+            raise ValidationError("a super-chunk must contain at least one chunk")
         handprint = compute_handprint(
             (chunk.fingerprint for chunk in chunks), handprint_size=handprint_size
         )

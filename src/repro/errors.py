@@ -2,8 +2,11 @@
 
 All library-specific exceptions derive from :class:`ReproError` so callers can
 catch a single base class.  Subsystems raise the most specific subclass that
-applies; generic ``ValueError``/``TypeError`` are reserved for plain argument
-validation that has nothing to do with deduplication semantics.
+applies.  Plain argument validation raises :class:`ValidationError`, which is
+*also* a ``ValueError`` so call sites keep the conventional contract -- but it
+still lands under :class:`ReproError`, and the error-taxonomy checker
+(``python -m repro.analysis --check taxonomy``) enforces that every ``raise``
+in the library constructs a member of this hierarchy.
 """
 
 from __future__ import annotations
@@ -11,6 +14,14 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised for invalid argument or configuration values.
+
+    Doubly derived: callers that catch ``ValueError`` for plain argument
+    validation keep working, while ``except ReproError`` still catches
+    everything the library raises."""
 
 
 class ChunkingError(ReproError):
@@ -68,3 +79,13 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when a simulation experiment is misconfigured."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the static-analysis tooling itself is misconfigured
+    (unknown checker name, unreadable source tree, malformed annotation)."""
+
+
+class LockOwnershipError(ReproError):
+    """Raised by the ``REPRO_LOCK_ASSERTS=1`` debug mode when a method that
+    requires a lock executes on a thread that does not hold it."""

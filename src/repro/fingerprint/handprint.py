@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Sequence, Set, Tuple
+from repro.errors import ValidationError
 
 DEFAULT_HANDPRINT_SIZE = 8
 """The handprint size the paper settles on (Sections 4.3-4.4)."""
@@ -43,7 +44,7 @@ class Handprint:
     def champion(self) -> bytes:
         """The single smallest fingerprint (used by stateless/ExtremeBinning routing)."""
         if not self.representative_fingerprints:
-            raise ValueError("empty handprint has no champion fingerprint")
+            raise ValidationError("empty handprint has no champion fingerprint")
         return self.representative_fingerprints[0]
 
     def as_set(self) -> FrozenSet[bytes]:
@@ -77,7 +78,7 @@ def compute_handprint(
         ``k`` -- the number of representative fingerprints to keep.
     """
     if handprint_size < 1:
-        raise ValueError("handprint_size must be >= 1")
+        raise ValidationError("handprint_size must be >= 1")
     distinct: Set[bytes] = set(fingerprints)
     smallest = sorted(distinct, key=lambda fp: int.from_bytes(fp, "big"))[:handprint_size]
     return Handprint(representative_fingerprints=tuple(smallest))
@@ -128,16 +129,16 @@ def probability_handprints_intersect(resemblance: float, handprint_size: int) ->
     resemblance ``resemblance`` share at least one representative fingerprint.
     """
     if not 0.0 <= resemblance <= 1.0:
-        raise ValueError("resemblance must be within [0, 1]")
+        raise ValidationError("resemblance must be within [0, 1]")
     if handprint_size < 1:
-        raise ValueError("handprint_size must be >= 1")
+        raise ValidationError("handprint_size must be >= 1")
     return 1.0 - (1.0 - resemblance) ** handprint_size
 
 
 def resemblance_from_counts(shared: int, total_a: int, total_b: int) -> float:
     """Jaccard resemblance from intersection/sizes (inclusion-exclusion helper)."""
     if shared < 0 or total_a < 0 or total_b < 0:
-        raise ValueError("counts must be non-negative")
+        raise ValidationError("counts must be non-negative")
     union = total_a + total_b - shared
     if union <= 0:
         return 1.0
@@ -150,5 +151,5 @@ def handprint_sampling_rate(handprint_size: int, chunks_per_superchunk: int) -> 
     ``handprint size / total number of chunk fingerprints in a super-chunk``.
     """
     if chunks_per_superchunk <= 0:
-        raise ValueError("chunks_per_superchunk must be positive")
+        raise ValidationError("chunks_per_superchunk must be positive")
     return handprint_size / chunks_per_superchunk

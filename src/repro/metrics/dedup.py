@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.utils.stats import mean, population_stddev
+from repro.errors import ValidationError
 
 
 def deduplication_ratio(logical_bytes: int, physical_bytes: int) -> float:
@@ -15,7 +16,7 @@ def deduplication_ratio(logical_bytes: int, physical_bytes: int) -> float:
     having presented data is infinite DR.
     """
     if logical_bytes < 0 or physical_bytes < 0:
-        raise ValueError("byte counts must be non-negative")
+        raise ValidationError("byte counts must be non-negative")
     if physical_bytes == 0:
         return 1.0 if logical_bytes == 0 else float("inf")
     return logical_bytes / physical_bytes
@@ -31,9 +32,9 @@ def deduplication_efficiency(
     Figure 5(a).
     """
     if process_seconds <= 0:
-        raise ValueError("process_seconds must be positive")
+        raise ValidationError("process_seconds must be positive")
     if logical_bytes < 0 or physical_bytes < 0:
-        raise ValueError("byte counts must be non-negative")
+        raise ValidationError("byte counts must be non-negative")
     return (logical_bytes - physical_bytes) / process_seconds
 
 
@@ -46,7 +47,7 @@ def normalized_deduplication_ratio(
     lower values quantify the "deduplication node information island" effect.
     """
     if single_node_deduplication_ratio <= 0:
-        raise ValueError("single_node_deduplication_ratio must be positive")
+        raise ValidationError("single_node_deduplication_ratio must be positive")
     return cluster_deduplication_ratio / single_node_deduplication_ratio
 
 

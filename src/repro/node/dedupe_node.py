@@ -30,10 +30,10 @@ Two executions of this pipeline exist:
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.runtime import GuardLock, assert_owned, guarded_lock
 from repro.core.superchunk import SuperChunk
 from repro.errors import ChunkNotFoundError
 from repro.fingerprint.fingerprinter import ChunkRecord
@@ -122,7 +122,9 @@ class DedupeNode:
         self.node_id = node_id
         self.config = config or NodeConfig()
         self.similarity_index = SimilarityIndex(num_locks=self.config.similarity_index_locks)
-        self.fingerprint_cache = ChunkFingerprintCache(self.config.cache_capacity_containers)
+        self.fingerprint_cache = ChunkFingerprintCache(  # guarded-by: _plane_lock
+            self.config.cache_capacity_containers
+        )
         backend_name = (
             self.config.container_backend
             or os.environ.get(ENV_CONTAINER_BACKEND)
@@ -136,14 +138,14 @@ class DedupeNode:
         self.container_store = ContainerStore(
             self.config.container_capacity, backend=self.container_backend
         )
-        self.disk_index = DiskChunkIndex(enabled=self.config.enable_disk_index)
-        self.stats = NodeStats()
+        self.disk_index = DiskChunkIndex(enabled=self.config.enable_disk_index)  # guarded-by: _plane_lock
+        self.stats = NodeStats()  # guarded-by: _plane_lock
         # The data plane is deliberately single-writer per node: concurrent
         # ingest lanes parallelise the chunk+fingerprint front end, while
         # super-chunks entering this node serialise here (the plane itself is
         # an order of magnitude faster than the front end, so the lock is not
         # the scaling limit).  Different nodes still ingest concurrently.
-        self._plane_lock = threading.Lock()
+        self._plane_lock: GuardLock = guarded_lock("DedupeNode._plane_lock")
 
     # ------------------------------------------------------------------ #
     # routing support (pre-routing query)
@@ -154,7 +156,11 @@ class DedupeNode:
 
         This is the message a candidate node answers during Algorithm 1 step 2.
         """
-        self.stats.resemblance_queries += 1
+        with self._plane_lock:
+            self.stats.resemblance_queries += 1
+        # The similarity index takes its own stripe locks; keeping the count
+        # outside the plane lock stops routing queries from serialising
+        # behind an in-flight super-chunk.
         return self.similarity_index.resemblance_count(handprint)
 
     @property
@@ -168,6 +174,11 @@ class DedupeNode:
 
     def lookup_chunk(self, fingerprint: bytes) -> Optional[int]:
         """Find the container storing ``fingerprint`` via cache then disk index."""
+        with self._plane_lock:
+            return self._lookup_chunk_locked(fingerprint)
+
+    def _lookup_chunk_locked(self, fingerprint: bytes) -> Optional[int]:  # holds-lock: _plane_lock
+        assert_owned(self._plane_lock, "DedupeNode._lookup_chunk_locked")
         self.stats.intra_node_lookup_messages += 1
         container_id = self.fingerprint_cache.lookup(fingerprint)
         if container_id is not None:
@@ -184,7 +195,7 @@ class DedupeNode:
             self._prefetch_container(container_id)
         return container_id
 
-    def _prefetch_container(self, container_id: int) -> None:
+    def _prefetch_container(self, container_id: int) -> None:  # holds-lock: _plane_lock
         if self.fingerprint_cache.is_container_cached(container_id):
             return
         fingerprints = self.container_store.prefetch_metadata(container_id)
@@ -204,7 +215,9 @@ class DedupeNode:
                 return self._backup_superchunk_batched(superchunk)
             return self._backup_superchunk_per_chunk(superchunk)
 
-    def _backup_superchunk_batched(self, superchunk: SuperChunk) -> SuperChunkBackupResult:
+    def _backup_superchunk_batched(  # holds-lock: _plane_lock
+        self, superchunk: SuperChunk
+    ) -> SuperChunkBackupResult:
         """The batched node data plane.
 
         Phases: (1) intra-super-chunk dedupe, (2) classification against cache
@@ -223,6 +236,7 @@ class DedupeNode:
         interleaves them; ``tests/test_node_batch_equivalence.py`` pins the
         exact contract.
         """
+        assert_owned(self._plane_lock, "DedupeNode._backup_superchunk_batched")
         stats = self.stats
         stats.superchunks_received += 1
         stats.logical_bytes += superchunk.logical_size
@@ -412,8 +426,11 @@ class DedupeNode:
             chunk_locations=chunk_locations,
         )
 
-    def _backup_superchunk_per_chunk(self, superchunk: SuperChunk) -> SuperChunkBackupResult:
+    def _backup_superchunk_per_chunk(  # holds-lock: _plane_lock
+        self, superchunk: SuperChunk
+    ) -> SuperChunkBackupResult:
         """The per-chunk reference path (the seed implementation)."""
+        assert_owned(self._plane_lock, "DedupeNode._backup_superchunk_per_chunk")
         self.stats.superchunks_received += 1
         self.stats.logical_bytes += superchunk.logical_size
 
@@ -438,7 +455,7 @@ class DedupeNode:
                 duplicate_bytes += chunk.length
                 chunk_locations[fingerprint] = seen_in_superchunk[fingerprint]
                 continue
-            container_id = self.lookup_chunk(fingerprint)
+            container_id = self._lookup_chunk_locked(fingerprint)
             if container_id is not None:
                 duplicate_chunks += 1
                 duplicate_bytes += chunk.length
@@ -468,7 +485,7 @@ class DedupeNode:
             chunk_locations=chunk_locations,
         )
 
-    def _store_unique_chunk(self, chunk: ChunkRecord, stream_id: int) -> int:
+    def _store_unique_chunk(self, chunk: ChunkRecord, stream_id: int) -> int:  # holds-lock: _plane_lock
         container_id = self.container_store.store_chunk(chunk, stream_id=stream_id)
         self.disk_index.insert(chunk.fingerprint, container_id)
         self.fingerprint_cache.add_fingerprint(container_id, chunk.fingerprint)
@@ -506,9 +523,9 @@ class DedupeNode:
         the disk index I/O counters.
         """
         if container_id is None:
-            container_id = self.fingerprint_cache.peek(fingerprint)
+            container_id = self.fingerprint_cache.peek(fingerprint)  # unguarded-ok: stats-free read-only peek; restore tolerates racing an in-flight backup
         if container_id is None:
-            container_id = self.disk_index.peek(fingerprint)
+            container_id = self.disk_index.peek(fingerprint)  # unguarded-ok: stats-free peek of an insert-only index
         if container_id is None:
             raise ChunkNotFoundError(
                 f"chunk {fingerprint.hex()} is not stored on node {self.node_id}"
@@ -549,13 +566,15 @@ class DedupeNode:
             for fingerprint, container_id in requests
         ]
         payloads = self.container_store.read_chunks(resolved)
+        verified: List[bytes] = []
         for (container_id, fingerprint), payload in zip(resolved, payloads):
             if payload is None:
                 raise ChunkNotFoundError(
                     f"container {container_id} on node {self.node_id} does not hold "
                     f"chunk {fingerprint.hex()}"
                 )
-        return payloads  # type: ignore[return-value]
+            verified.append(payload)
+        return verified
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -567,8 +586,13 @@ class DedupeNode:
         return self.similarity_index.size_in_bytes
 
     def describe(self) -> Dict[str, float]:
-        """A flat summary combining stats with storage/cache counters."""
-        summary = self.stats.as_dict()
+        """A flat summary combining stats with storage/cache counters.
+
+        A reporting snapshot: values may be mid-super-chunk if a backup is in
+        flight, which callers (progress displays, end-of-run reports after
+        ``flush``) accept by contract.
+        """
+        summary = self.stats.as_dict()  # unguarded-ok: reporting snapshot, torn reads acceptable
         summary.update(
             {
                 "node_id": self.node_id,
@@ -576,7 +600,7 @@ class DedupeNode:
                 "stored_bytes": self.container_store.stored_bytes,
                 "similarity_index_entries": len(self.similarity_index),
                 "similarity_index_bytes": self.similarity_index.size_in_bytes,
-                "cache_hit_ratio": self.fingerprint_cache.hit_ratio,
+                "cache_hit_ratio": self.fingerprint_cache.hit_ratio,  # unguarded-ok: reporting snapshot, torn reads acceptable
             }
         )
         return summary

@@ -49,6 +49,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
 from repro.core.superchunk import SuperChunk
 from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.errors import ValidationError
 
 ENV_INGEST_WORKERS = "REPRO_INGEST_WORKERS"
 """Environment variable naming the default worker-lane count for ingest."""
@@ -80,11 +81,11 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         try:
             workers = int(env)
         except ValueError:
-            raise ValueError(
+            raise ValidationError(
                 f"{ENV_INGEST_WORKERS} must be a positive integer, got {env!r}"
             ) from None
     if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+        raise ValidationError(f"workers must be >= 1, got {workers}")
     return workers
 
 
@@ -113,7 +114,7 @@ _END_OF_INPUT = object()
 _LANE_DONE = object()
 
 
-def _put_cancellable(queue: Queue, item, cancelled: threading.Event) -> bool:
+def _put_cancellable(queue: Queue, item: object, cancelled: threading.Event) -> bool:
     """Blocking put that gives up when the run is cancelled."""
     while not cancelled.is_set():
         try:
@@ -124,7 +125,7 @@ def _put_cancellable(queue: Queue, item, cancelled: threading.Event) -> bool:
     return False
 
 
-def _get_cancellable(queue: Queue, cancelled: threading.Event):
+def _get_cancellable(queue: Queue, cancelled: threading.Event) -> object:
     """Blocking get that gives up (returning the end marker) when cancelled."""
     while not cancelled.is_set():
         try:
@@ -170,11 +171,11 @@ class ParallelIngestEngine:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
     ):
         if executor not in ("thread", "process"):
-            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
+            raise ValidationError(f"executor must be 'thread' or 'process', got {executor!r}")
         if batch_bytes < 1:
-            raise ValueError("batch_bytes must be positive")
+            raise ValidationError("batch_bytes must be positive")
         if queue_depth < 1:
-            raise ValueError("queue_depth must be positive")
+            raise ValidationError("queue_depth must be positive")
         self.workers = resolve_workers(workers)
         self.executor = executor
         self.batch_bytes = batch_bytes
@@ -346,8 +347,8 @@ class ParallelIngestEngine:
                     # payload is materialised here, so the in-flight bound is
                     # O(workers x file) rather than O(workers x super-chunk).
                     if not isinstance(payload, (bytes, bytearray, memoryview)):
-                        payload = b"".join(payload)
-                    data = bytes(payload)
+                        payload = b"".join(payload)  # streaming-ok: process lanes need picklable buffers, bounded by in-flight window
+                    data = bytes(payload)  # streaming-ok: process lanes need picklable buffers, bounded by in-flight window
                     pending.append((path, data, pool.submit(_process_chunk_file, data)))
                 if not pending:
                     break
@@ -379,7 +380,7 @@ class ParallelIngestEngine:
         if stream_ids is None:
             stream_ids = list(range(len(streams)))
         if len(stream_ids) != len(streams):
-            raise ValueError("stream_ids must align with streams")
+            raise ValidationError("stream_ids must align with streams")
         if not streams:
             return
         merged: Queue = Queue(maxsize=max(2, len(streams)))

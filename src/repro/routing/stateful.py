@@ -23,6 +23,7 @@ from typing import List
 from repro.core.superchunk import SuperChunk
 from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
 from repro.utils.hashing import digest_to_int
+from repro.errors import ValidationError
 
 DEFAULT_SAMPLE_RATE = 32
 """Sample one in every 32 chunk fingerprints, the rate the paper assumes."""
@@ -49,7 +50,7 @@ class StatefulRouting(RoutingScheme):
 
     def __init__(self, sample_rate: int = DEFAULT_SAMPLE_RATE, use_load_balance: bool = True):
         if sample_rate < 1:
-            raise ValueError("sample_rate must be >= 1")
+            raise ValidationError("sample_rate must be >= 1")
         self.sample_rate = sample_rate
         self.use_load_balance = use_load_balance
 

@@ -10,10 +10,10 @@ All disk accesses are performed at the granularity of a container."
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ContainerNotFoundError
+from repro.analysis.runtime import GuardLock, assert_owned, guarded_lock
+from repro.errors import ContainerNotFoundError, ValidationError
 from repro.fingerprint.fingerprinter import ChunkRecord
 from repro.storage.backends import ContainerBackend, InMemoryBackend
 from repro.storage.container import Container, DEFAULT_CONTAINER_CAPACITY
@@ -41,26 +41,26 @@ class ContainerStore:
         backend: Optional[ContainerBackend] = None,
     ):
         if container_capacity < 1:
-            raise ValueError("container_capacity must be positive")
+            raise ValidationError("container_capacity must be positive")
         self.container_capacity = container_capacity
         self.backend = backend or InMemoryBackend()
-        self._containers: Dict[int, Container] = {}
-        self._open_by_stream: Dict[int, Container] = {}
-        self._next_id = 0
-        self._lock = threading.Lock()
-        self.container_reads = 0
-        self.container_writes = 0
+        self._containers: Dict[int, Container] = {}  # guarded-by: _lock
+        self._open_by_stream: Dict[int, Container] = {}  # guarded-by: _lock
+        self._next_id = 0  # guarded-by: _lock
+        self._lock: GuardLock = guarded_lock("ContainerStore._lock")
+        self.container_reads = 0  # guarded-by: _lock
+        self.container_writes = 0  # guarded-by: _lock
         # Running totals so storage_usage probes (consulted by sigma routing
         # for every candidate on every super-chunk) stay O(1) instead of
         # O(#containers).
-        self._stored_bytes = 0
-        self._stored_chunks = 0
+        self._stored_bytes = 0  # guarded-by: _lock
+        self._stored_chunks = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # allocation
     # ------------------------------------------------------------------ #
 
-    def _allocate(self, stream_id: int, capacity: Optional[int] = None) -> Container:
+    def _allocate(self, stream_id: int, capacity: Optional[int] = None) -> Container:  # holds-lock: _lock
         container = Container(
             container_id=self._next_id,
             capacity=capacity if capacity is not None else self.container_capacity,
@@ -70,13 +70,13 @@ class ContainerStore:
         self._next_id += 1
         return container
 
-    def _seal(self, container: Container) -> None:
+    def _seal(self, container: Container) -> None:  # holds-lock: _lock
         """Seal a container, count the whole-unit write and hand it to the backend."""
         container.seal()
         self.container_writes += 1
         self.backend.on_seal(container)
 
-    def _store_oversize(self, chunk: ChunkRecord, stream_id: int) -> int:
+    def _store_oversize(self, chunk: ChunkRecord, stream_id: int) -> int:  # holds-lock: _lock
         """Store a chunk larger than the configured capacity (lock held).
 
         The chunk gets a dedicated container sized to fit, sealed immediately
@@ -183,6 +183,11 @@ class ContainerStore:
 
     def get(self, container_id: int) -> Container:
         """Return a container by id without touching the I/O counters."""
+        with self._lock:
+            return self._get_locked(container_id)
+
+    def _get_locked(self, container_id: int) -> Container:  # holds-lock: _lock
+        assert_owned(self._lock, "ContainerStore._get_locked")
         try:
             return self._containers[container_id]
         except KeyError:
@@ -190,8 +195,9 @@ class ContainerStore:
 
     def read_container(self, container_id: int) -> Container:
         """Read a whole container from disk (counted as one container read)."""
-        container = self.get(container_id)
-        self.container_reads += 1
+        with self._lock:
+            container = self._get_locked(container_id)
+            self.container_reads += 1
         return container
 
     def read_chunk(self, container_id: int, fingerprint: bytes) -> Optional[bytes]:
@@ -233,8 +239,9 @@ class ContainerStore:
 
     def prefetch_metadata(self, container_id: int) -> List[bytes]:
         """Read the metadata section of a container: the fingerprint prefetch path."""
-        container = self.get(container_id)
-        self.container_reads += 1
+        with self._lock:
+            container = self._get_locked(container_id)
+            self.container_reads += 1
         return container.fingerprints()
 
     # ------------------------------------------------------------------ #
@@ -243,7 +250,8 @@ class ContainerStore:
 
     @property
     def container_count(self) -> int:
-        return len(self._containers)
+        with self._lock:
+            return len(self._containers)
 
     @property
     def stored_bytes(self) -> int:
@@ -251,23 +259,28 @@ class ContainerStore:
 
         Maintained as a running counter, so the per-candidate ``storage_usage``
         probes of sigma routing cost O(1) regardless of how many containers
-        have accumulated.
+        have accumulated.  Deliberately lock-free: a torn read costs one
+        routing decision at most, and the probe sits on the per-super-chunk
+        hot path of every candidate node.
         """
-        return self._stored_bytes
+        return self._stored_bytes  # unguarded-ok: racy-by-design O(1) routing probe
 
     @property
     def stored_chunks(self) -> int:
-        return self._stored_chunks
+        with self._lock:
+            return self._stored_chunks
 
     @property
     def resident_payload_bytes(self) -> int:
         """Bytes of container payload currently held in RAM (spilled sealed
         containers do not count -- the bounded-footprint metric)."""
-        return sum(
-            container.used
-            for container in self._containers.values()
-            if container.payload_resident
-        )
+        with self._lock:
+            return sum(
+                container.used
+                for container in self._containers.values()
+                if container.payload_resident
+            )
 
     def container_ids(self) -> List[int]:
-        return list(self._containers.keys())
+        with self._lock:
+            return list(self._containers.keys())

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fingerprint.handprint import Handprint
 from repro.utils.striped_lock import StripedLock
+from repro.errors import ValidationError
 
 DEFAULT_ENTRY_SIZE_BYTES = 40
 """Per-entry RAM footprint assumed by the paper's RAM-usage estimate."""
@@ -43,18 +44,22 @@ class SimilarityIndex:
     """
 
     def __init__(self, num_locks: int = 1024, entry_size_bytes: int = DEFAULT_ENTRY_SIZE_BYTES):
-        self._entries: Dict[bytes, int] = {}
+        self._entries: Dict[bytes, int] = {}  # guarded-by: _locks
         self._locks = StripedLock(num_locks)
         self.entry_size_bytes = entry_size_bytes
-        self.lookups = 0
-        self.lookup_hits = 0
-        self.inserts = 0
+        # Approximate counters: each bump happens under some stripe lock, so
+        # they are never torn mid-update, but bumps from different stripes may
+        # still lose increments against each other.  They feed reports, not
+        # control flow.
+        self.lookups = 0  # guarded-by: _locks
+        self.lookup_hits = 0  # guarded-by: _locks
+        self.inserts = 0  # guarded-by: _locks
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries)  # unguarded-ok: aggregate snapshot read for reporting
 
     def __contains__(self, representative_fingerprint: bytes) -> bool:
-        return representative_fingerprint in self._entries
+        return representative_fingerprint in self._entries  # unguarded-ok: stats-free membership probe, tolerates racing inserts
 
     @property
     def num_locks(self) -> int:
@@ -138,7 +143,7 @@ class SimilarityIndex:
     ) -> None:
         """Record each RFP with its own container id (parallel sequences)."""
         if len(container_ids) != len(handprint.representative_fingerprints):
-            raise ValueError("container_ids must align with the handprint fingerprints")
+            raise ValidationError("container_ids must align with the handprint fingerprints")
         for fingerprint, container_id in zip(handprint, container_ids):
             self.insert(fingerprint, container_id)
 
@@ -149,14 +154,18 @@ class SimilarityIndex:
     @property
     def size_in_bytes(self) -> int:
         """Estimated RAM footprint of the index."""
-        return len(self._entries) * self.entry_size_bytes
+        return len(self._entries) * self.entry_size_bytes  # unguarded-ok: aggregate snapshot read for reporting
 
     @property
     def hit_ratio(self) -> float:
-        if self.lookups == 0:
+        if self.lookups == 0:  # unguarded-ok: approximate-counter snapshot for reporting
             return 0.0
-        return self.lookup_hits / self.lookups
+        return self.lookup_hits / self.lookups  # unguarded-ok: approximate-counter snapshot for reporting
 
     def fingerprints(self) -> Iterable[bytes]:
-        """Iterate the representative fingerprints currently indexed."""
-        return iter(self._entries.keys())
+        """Iterate the representative fingerprints currently indexed.
+
+        A quiesced-index API: callers iterate between backup sessions, not
+        while inserts are in flight.
+        """
+        return iter(self._entries.keys())  # unguarded-ok: quiesced-index iteration between sessions

@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import math
 from typing import Iterable
+from repro.errors import ValidationError
 
 
 class BloomFilter:
@@ -27,9 +28,9 @@ class BloomFilter:
 
     def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
         if expected_items < 1:
-            raise ValueError("expected_items must be >= 1")
+            raise ValidationError("expected_items must be >= 1")
         if not 0.0 < false_positive_rate < 1.0:
-            raise ValueError("false_positive_rate must be in (0, 1)")
+            raise ValidationError("false_positive_rate must be in (0, 1)")
         self.expected_items = expected_items
         self.false_positive_rate = false_positive_rate
         self.num_bits = self._optimal_bits(expected_items, false_positive_rate)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Dict
 
-from repro.errors import FingerprintError
+from repro.errors import FingerprintError, ValidationError
 
 #: Digest algorithms supported for chunk fingerprinting.
 SUPPORTED_ALGORITHMS = ("sha1", "md5", "sha256")
@@ -76,5 +76,5 @@ def fingerprint_mod(fingerprint: bytes, modulus: int) -> int:
     the stateless routing baselines.
     """
     if modulus <= 0:
-        raise ValueError("modulus must be positive")
+        raise ValidationError("modulus must be positive")
     return digest_to_int(fingerprint) % modulus

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Callable, Generic, Iterator, Optional, Tuple, TypeVar
+from repro.errors import ValidationError
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -31,7 +32,7 @@ class LRUCache(Generic[K, V]):
 
     def __init__(self, capacity: int, on_evict: Optional[Callable[[K, V], None]] = None):
         if capacity < 1:
-            raise ValueError("LRUCache capacity must be >= 1")
+            raise ValidationError("LRUCache capacity must be >= 1")
         self._capacity = capacity
         self._entries: "OrderedDict[K, V]" = OrderedDict()
         self._on_evict = on_evict

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from typing import Iterable, List, Sequence
+from repro.errors import ValidationError
 
 
 def mean(values: Sequence[float]) -> float:
@@ -56,7 +57,7 @@ def max_over_mean(values: Sequence[float]) -> float:
 def percentile(values: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile for ``fraction`` in [0, 1]."""
     if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction must be within [0, 1]")
+        raise ValidationError("fraction must be within [0, 1]")
     ordered: List[float] = sorted(values)
     if not ordered:
         return 0.0

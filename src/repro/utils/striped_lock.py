@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from typing import Iterator
+from repro.errors import ValidationError
 
 
 class StripedLock:
@@ -27,7 +28,7 @@ class StripedLock:
 
     def __init__(self, num_stripes: int = 1024):
         if num_stripes < 1:
-            raise ValueError("num_stripes must be >= 1")
+            raise ValidationError("num_stripes must be >= 1")
         self._locks = [threading.Lock() for _ in range(num_stripes)]
         self.acquisitions = 0
 

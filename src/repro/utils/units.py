@@ -1,6 +1,7 @@
 """Byte-size constants, parsing and formatting helpers."""
 
 from __future__ import annotations
+from repro.errors import ValidationError
 
 KiB = 1024
 MiB = 1024 * KiB
@@ -34,7 +35,7 @@ def parse_size(text: str) -> int:
         return int(text)
     stripped = text.strip().lower().replace(" ", "")
     if not stripped:
-        raise ValueError("empty size string")
+        raise ValidationError("empty size string")
     number_part = stripped
     suffix = ""
     for i, char in enumerate(stripped):
@@ -43,10 +44,10 @@ def parse_size(text: str) -> int:
             suffix = stripped[i:]
             break
     if not number_part:
-        raise ValueError(f"size string has no numeric part: {text!r}")
+        raise ValidationError(f"size string has no numeric part: {text!r}")
     value = float(number_part)
     if suffix and suffix not in _SUFFIXES:
-        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+        raise ValidationError(f"unknown size suffix {suffix!r} in {text!r}")
     multiplier = _SUFFIXES.get(suffix, 1)
     return int(value * multiplier)
 

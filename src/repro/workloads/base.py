@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional
 
 from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.errors import ValidationError
 
 #: Block size used when a workload file is consumed as a block stream.
 DEFAULT_STREAM_BLOCK_SIZE = 256 * 1024
@@ -71,9 +72,9 @@ class WorkloadFile:
         size_hint: Optional[int] = None,
     ):
         if source is not None and data:
-            raise ValueError("a WorkloadFile carries either data or a source, not both")
+            raise ValidationError("a WorkloadFile carries either data or a source, not both")
         if chunks and (source is not None or data):
-            raise ValueError("a WorkloadFile carries either chunks or a payload, not both")
+            raise ValidationError("a WorkloadFile carries either chunks or a payload, not both")
         self.path = path
         self.chunks: List[ChunkRecord] = list(chunks) if chunks else []
         self.source = source
@@ -93,7 +94,7 @@ class WorkloadFile:
     def data(self) -> bytes:
         """The whole payload as one buffer (materialises lazy sources)."""
         if self.source is not None:
-            return b"".join(self.source())
+            return b"".join(self.source())  # streaming-ok: .data is the documented whole-buffer escape hatch
         return self._data
 
     @property
@@ -120,7 +121,7 @@ class WorkloadFile:
         nothing.
         """
         if block_size < 1:
-            raise ValueError("block_size must be >= 1")
+            raise ValidationError("block_size must be >= 1")
         if self.source is not None:
             for block in self.source():
                 if len(block) <= block_size:
