@@ -28,17 +28,26 @@ in MB/s over the same synthetic payload:
   session whose later recipes interleave containers, restored chunk-at-a-time
   (the seed path, one spill reload per chunk softened only by a one-slot
   buffer) vs the batched path (grouped by (node, container), one load per
-  distinct container per window) vs the streamed iterator.
+  distinct container per window) vs the streamed iterator;
+* **restore_compressed** -- the same two-generation interleaved session over a
+  compressible payload, batched restore on uncompressed (mmap-sliced) vs
+  compressed spill files, with the raw/stored spill byte totals recorded as
+  ``spill_bytes`` so the compression win is visible in the JSON.
 
 Results are printed and written to ``BENCH_ingest.json`` at the repository
-root so successive PRs accumulate comparable data points.  Asserted
-regressions (the CI smoke gate): the accelerated scan is >= 3x the pure scan,
-accelerated end-to-end ingest is >= 1.2x the pure end-to-end rate, the
-batched node path is >= 1.2x the seed per-chunk node path, batched spill
-restore is >= 2x the per-chunk spill restore, and -- on hosts with >= 4 cores,
-i.e. the CI runners -- workers=4 parallel ingest is >= 1.5x workers=1 (>= 2
-cores gate at a reduced 1.1x; a single-core host records the rows and skips
-the assertion, since thread scaling is physically impossible there).
+root so successive PRs accumulate comparable data points.  The chunk rows are
+best-of-N (single runs swing 10-15% on shared hosts, and the vectorised-walk
+gate below is an absolute floor, not a ratio).  Asserted regressions (the CI
+smoke gate): the accelerated scan is >= 3x the pure scan AND >= 2x the 105.62
+MB/s recorded before the vectorised candidate walk, accelerated end-to-end
+ingest is >= 1.2x the pure end-to-end rate, the batched node path is >= 1.2x
+the seed per-chunk node path, batched spill restore is >= 2x the per-chunk
+spill restore, compressed batched restore is >= 0.9x the uncompressed batched
+restore on the same payload, compressed spill files hold <= 0.8x the raw
+bytes on the compressible workload, and -- on hosts with >= 4 cores, i.e. the
+CI runners -- workers=4 parallel ingest is >= 1.5x workers=1 (>= 2 cores gate
+at a reduced 1.1x; a single-core host records the rows and skips the
+assertion, since thread scaling is physically impossible there).
 
 Run directly::
 
@@ -68,6 +77,7 @@ from repro.core.framework import SigmaDedupe
 from repro.core.partitioner import PartitionerConfig, StreamPartitioner
 from repro.fingerprint.fingerprinter import Fingerprinter
 from repro.node.dedupe_node import NodeConfig
+from repro.storage.compression import resolve_compression
 from repro.workloads.synthetic import SyntheticDataGenerator
 
 AVERAGE_CHUNK_SIZE = 4096
@@ -77,6 +87,16 @@ NUM_FILES = 4
 # Best-of-5: the 1.2x batched-vs-per-chunk gate needs a noise-resistant
 # baseline on shared CI runners (locally the ratio sits around 1.3x).
 NODE_PATH_REPEATS = 5
+# Chunk rows are best-of-N too: the vectorised-walk gate is an absolute
+# floor (>= 2x the committed pre-walk rate), so a single noisy run must not
+# fail the build -- single passes swing 10-15% on shared hosts.  Accel passes
+# are cheap (~15 ms at smoke scale), so the smoke gate takes many; the pure
+# scan is ~25x slower per pass and only feeds ratio gates with wide margins.
+CHUNK_REPEATS_ACCEL = {"full": 16, "smoke": 16}
+CHUNK_REPEATS_PURE = 3
+# The chunk-only rate recorded immediately before the vectorised candidate
+# walk landed; the walk must hold at least double it.
+PRE_WALK_CHUNK_ONLY = 105.62
 PARALLEL_WORKERS = (1, 2, 4)
 PARALLEL_REPEATS = 3
 # Restore rows use small containers so even the smoke payload spreads over
@@ -111,22 +131,28 @@ def _mbps(num_bytes: int, elapsed: float) -> float:
     return num_bytes / (1024 * 1024) / max(elapsed, 1e-9)
 
 
-def measure_chunk_only(chunker: Chunker, data: bytes) -> float:
-    start = time.perf_counter()
-    count = sum(1 for _ in chunker.cut_offsets(data))
-    elapsed = time.perf_counter() - start
-    assert count > 0
-    return _mbps(len(data), elapsed)
+def measure_chunk_only(chunker: Chunker, data: bytes, repeats: int = 1) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        count = sum(1 for _ in chunker.cut_offsets(data))
+        elapsed = time.perf_counter() - start
+        assert count > 0
+        best = max(best, _mbps(len(data), elapsed))
+    return best
 
 
-def measure_chunk_fingerprint(chunker: Chunker, data: bytes) -> float:
-    fingerprinter = Fingerprinter("sha1")
-    start = time.perf_counter()
-    for _ in fingerprinter.fingerprint_blocks(data, chunker, keep_data=False):
-        pass
-    elapsed = time.perf_counter() - start
-    assert fingerprinter.bytes_fingerprinted == len(data)
-    return _mbps(len(data), elapsed)
+def measure_chunk_fingerprint(chunker: Chunker, data: bytes, repeats: int = 1) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        fingerprinter = Fingerprinter("sha1")
+        start = time.perf_counter()
+        for _ in fingerprinter.fingerprint_blocks(data, chunker, keep_data=False):
+            pass
+        elapsed = time.perf_counter() - start
+        assert fingerprinter.bytes_fingerprinted == len(data)
+        best = max(best, _mbps(len(data), elapsed))
+    return best
 
 
 def measure_node_path(
@@ -185,7 +211,23 @@ def measure_parallel_end_to_end(
     return best
 
 
-def build_restore_session(storage_dir: str, data: bytes) -> Tuple[SigmaDedupe, str, int]:
+def compressible_bytes(generator: SyntheticDataGenerator, total: int) -> bytes:
+    """A unique-but-internally-repetitive payload: every 4 KB region is a
+    fresh random 1 KB seed repeated four times, so chunks stay unique for
+    dedupe accounting while any real codec compresses the spill files well
+    below the 0.8x gate (pure ``unique_bytes`` output is incompressible)."""
+    parts: List[bytes] = []
+    produced = 0
+    while produced < total:
+        seed = generator.unique_bytes(1024)
+        parts.append(seed * 4)
+        produced += 4096
+    return b"".join(parts)[:total]
+
+
+def build_restore_session(
+    storage_dir: str, data: bytes, compression: Optional[str] = None
+) -> Tuple[SigmaDedupe, str, int]:
     """A two-generation spill-backed session whose second recipe interleaves
     old and new containers (unchanged chunks resolve to generation-0 sealed
     containers, edited spans land in fresh ones)."""
@@ -196,6 +238,7 @@ def build_restore_session(storage_dir: str, data: bytes) -> Tuple[SigmaDedupe, s
         superchunk_size=SUPERCHUNK_SIZE,
         node_config=NodeConfig(container_capacity=RESTORE_CONTAINER_CAPACITY),
         storage_dir=storage_dir,
+        container_compression=compression,
     )
     file_size = len(data) // NUM_FILES
     files = [
@@ -257,9 +300,12 @@ def run(scale: str) -> Dict:
         "end_to_end": {},
     }
     for name, factory in gear_backends():
-        results["chunk_only"][name] = round(measure_chunk_only(factory(), data), 2)
+        repeats = CHUNK_REPEATS_ACCEL[scale] if "accel" in name else CHUNK_REPEATS_PURE
+        results["chunk_only"][name] = round(
+            measure_chunk_only(factory(), data, repeats=repeats), 2
+        )
         results["chunk_fingerprint"][name] = round(
-            measure_chunk_fingerprint(factory(), data), 2
+            measure_chunk_fingerprint(factory(), data, repeats=repeats), 2
         )
         results["end_to_end"][name] = round(measure_end_to_end(factory(), files), 2)
 
@@ -328,6 +374,40 @@ def run(scale: str) -> Dict:
             for mode in ("per-chunk", "batched", "streamed")
         }
 
+        # Compressed spill: the same interleaved two-generation session over a
+        # compressible payload, batched restore on raw (mmap-sliced) vs
+        # compressed spill files, plus the raw/stored spill byte totals.
+        codec = resolve_compression("auto")
+        compressible = compressible_bytes(generator, total_bytes // 2)
+        plain_framework, plain_session, plain_logical = build_restore_session(
+            str(Path(spill_dir) / "restore-plain"), compressible, compression="none"
+        )
+        packed_framework, packed_session, packed_logical = build_restore_session(
+            str(Path(spill_dir) / "restore-packed"), compressible, compression=codec
+        )
+        results["restore_compressed"] = {
+            "batched-uncompressed": round(
+                measure_restore(plain_framework, plain_session, plain_logical, "batched"), 2
+            ),
+            f"batched-{codec}": round(
+                measure_restore(packed_framework, packed_session, packed_logical, "batched"), 2
+            ),
+        }
+        spill_bytes_raw = sum(
+            node.container_backend.spilled_bytes
+            for node in packed_framework.cluster.nodes
+        )
+        spill_bytes_stored = sum(
+            node.container_backend.spilled_bytes_stored
+            for node in packed_framework.cluster.nodes
+        )
+        spill_bytes = {
+            "codec": codec,
+            "raw": spill_bytes_raw,
+            "stored": spill_bytes_stored,
+            "ratio": round(spill_bytes_stored / max(spill_bytes_raw, 1), 4),
+        }
+
     # The CI smoke gates: a chunking, ingest or node-plane regression fails
     # the build.  At smoke scale the batched/per-chunk ratio has comfortable
     # headroom (~1.5x measured); the bigger full-scale payload spends
@@ -347,6 +427,23 @@ def run(scale: str) -> Dict:
         assert chunk_accel >= chunk_pure * 3, (
             f"vectorised scan regressed: {chunk_accel} MB/s vs pure {chunk_pure} MB/s"
         )
+        # Walk gate.  The pre-walk chunker already ran ~12x the pure rate,
+        # so the 3x scan gate above cannot see a walk-only regression; 16x
+        # sits between the pre-walk ratio and the ~25x the speculative walk
+        # measures, and being relative it survives slow hosts.  Full runs —
+        # the ones recorded to BENCH_ingest.json — additionally hold the
+        # absolute floor of twice the chunk-only rate recorded before the
+        # walk landed (best-of-N above absorbs host noise).
+        assert chunk_accel >= chunk_pure * 16, (
+            f"vectorised candidate walk regressed: {chunk_accel} MB/s vs pure "
+            f"{chunk_pure} MB/s (< 16x)"
+        )
+        if scale == "full":
+            assert chunk_accel >= PRE_WALK_CHUNK_ONLY * 2, (
+                f"vectorised candidate walk regressed: {chunk_accel} MB/s vs "
+                f"the {PRE_WALK_CHUNK_ONLY * 2:.1f} MB/s floor (2x pre-walk "
+                f"{PRE_WALK_CHUNK_ONLY} MB/s)"
+            )
         e2e_pure = results["end_to_end"]["gear-pure"]
         e2e_accel = results["end_to_end"]["gear-accel"]
         assert e2e_accel >= e2e_pure * 1.2, (
@@ -360,6 +457,20 @@ def run(scale: str) -> Dict:
     assert restore_batched >= restore_per_chunk * 2.0, (
         f"batched spill restore regressed: {restore_batched} MB/s vs per-chunk "
         f"{restore_per_chunk} MB/s (< 2x)"
+    )
+
+    # Compression gates: the one-decompression-per-container cost must stay
+    # amortised (compressed batched restore within 10% of uncompressed on the
+    # same payload), and the codec must actually shrink the spill files.
+    restore_plain = results["restore_compressed"]["batched-uncompressed"]
+    restore_packed = results["restore_compressed"][f"batched-{codec}"]
+    assert restore_packed >= restore_plain * 0.9, (
+        f"compressed batched restore regressed: {restore_packed} MB/s vs "
+        f"uncompressed {restore_plain} MB/s (< 0.9x, codec={codec})"
+    )
+    assert spill_bytes["stored"] <= spill_bytes["raw"] * 0.8, (
+        f"compressed spill files too large: {spill_bytes['stored']} bytes "
+        f"stored vs {spill_bytes['raw']} raw (> 0.8x, codec={codec})"
     )
 
     # Parallel gate: thread lanes need cores to scale on.  CI runners have
@@ -386,7 +497,7 @@ def run(scale: str) -> Dict:
     except ImportError:
         numpy_version = None
     return {
-        "schema": "bench-ingest-v3",
+        "schema": "bench-ingest-v4",
         "generated_by": "benchmarks/bench_ingest_throughput.py",
         "config": {
             "scale": scale,
@@ -399,15 +510,22 @@ def run(scale: str) -> Dict:
             "fingerprint_algorithm": "sha1",
             "node_path_generations": 2,
             "node_path_repeats": NODE_PATH_REPEATS,
+            "chunk_repeats": {
+                "gear-pure": CHUNK_REPEATS_PURE,
+                "gear-accel": CHUNK_REPEATS_ACCEL[scale],
+            },
             "parallel_workers": list(PARALLEL_WORKERS),
             "parallel_repeats": PARALLEL_REPEATS,
             "restore_container_capacity": RESTORE_CONTAINER_CAPACITY,
             "restore_repeats": RESTORE_REPEATS,
+            "compression_codec": codec,
+            "compression_data_bytes": total_bytes // 2,
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": numpy_version,
         },
         "results_mb_per_s": results,
+        "spill_bytes": spill_bytes,
     }
 
 
@@ -431,6 +549,11 @@ def main(argv: "List[str] | None" = None) -> int:
     for stage, by_backend in results.items():
         columns = "".join(f"  {name}={value}" for name, value in by_backend.items())
         print(f"{stage:<20}{columns}")
+    spill = document["spill_bytes"]
+    print(
+        f"spill bytes ({spill['codec']}): raw={spill['raw']} "
+        f"stored={spill['stored']} ratio={spill['ratio']}"
+    )
     if not numpy_available():
         print("(NumPy not importable: accelerated backend skipped)")
 

@@ -93,6 +93,10 @@ STREAMING_MODULES: FrozenSet[str] = frozenset(
         "workloads/mail.py",
         "workloads/web.py",
         "workloads/trace.py",
+        # The spill plane: codecs and the mmap-backed file backend handle one
+        # bounded container data section at a time, never a whole stream.
+        "storage/compression.py",
+        "storage/backends.py",
     }
 )
 

@@ -6,29 +6,42 @@ fingerprint at position *n* a lag sum of the last 64 table values::
     fp_n = sum_{k=0}^{63} GEAR[b_{n-k}] << k   (mod 2**64)
 
 -- every older term carries a shift of 64 or more and vanishes modulo
-2**64.  That sum is a first-order linear recurrence with constant
-coefficient 2, so the fingerprint at *every* position of a slab can be
-computed with a logarithmic parallel-prefix of vectorised ``uint64``
-shift/adds (6 doubling passes instead of one Python-bytecode iteration per
-byte)::
+2**64.  Two properties of that sum drive the design here:
 
-    F_1[i]  = GEAR[b_i]
-    F_2w[i] = F_w[i] + (F_w[i-w] << w)         # w = 1, 2, 4, 8, 16, 32
+* It is a first-order linear recurrence with constant coefficient 2, so the
+  fingerprint at every position of a slab can be computed with a logarithmic
+  parallel-prefix of vectorised ``uint64`` shift/adds instead of one Python
+  iteration per byte.
+* Because the mask is always a run of *top* bits, ``fp & mask == 0`` is
+  equivalent to ``fp < 2**(64-bits)`` -- a single vectorised compare.
 
-after which ``F_64[i]`` is the gear fingerprint of the 64-byte window ending
-at byte ``i``.  Positions whose fingerprint survives the strict/loose
-boundary masks are extracted once per slab; the chunk walk then applies
-min-size cut-point skipping, the normalization-mask switch and max-size
-truncation *sequentially* over those sparse candidate lists, exactly as the
-pure scan does.
+The scan works at **stride 4** rather than per byte: a 65536-entry pair
+table folds two bytes per lookup (``PAIR[b0|b1<<8] = (GEAR[b0] << 1) +
+GEAR[b1]``), two pair lookups fold a 4-byte group, and four doubling passes
+over the per-group sums (shifts of 4w bits, lags of w groups) produce the
+full-window fingerprint at every position ``4m + 3``.  The three off-grid
+positions of each group are reconstructed exactly from the on-grid value via
+the recurrence itself::
 
-The only bytes still touched one at a time are the first 63 past each
-chunk's minimum-size skip: there the scan fingerprint has consumed fewer
-than 64 bytes since its reset, so it differs from the full-window lag sum
-and is recomputed with the pure recurrence (~1.5 % of the stream at the
-default 4 KB average).  The result is byte-identical chunk boundaries to
-:class:`~repro.chunking.gear.GearChunker` at several times the throughput
-(see ``benchmarks/bench_chunker_throughput.py``).
+    F_{j+1} = (F_j << 1) + GEAR[b_{j+1}]    (mod 2**64)
+
+reusing the already-gathered pair sums, so the whole stream is scanned with
+roughly a quarter of the memory traffic of the per-byte doubling ladder.
+Mask hits are rare (one per ~1 KiB at the default masks), so the exact
+position and strict/loose classification are resolved only at hit groups.
+
+The chunk walk is **speculative**: chunks are cut from the sparse hit list
+alone (min-size skip, normalization switch and max-size truncation resolved
+in index space, one Python step per chunk), *assuming* no boundary fires
+inside the 63-byte warm-up window that follows each cut-point skip (where
+the scan fingerprint has consumed fewer than 64 bytes since its reset and
+differs from the full-window lag sum).  The warm-up windows of a whole block
+of speculated chunks are then verified in one vectorised 2-D doubling pass;
+a warm-up hit (~0.4 % of chunks at the default masks) commits the prefix,
+cuts at the verified position and restarts speculation from there.  The
+result is byte-identical chunk boundaries to
+:class:`~repro.chunking.gear.GearChunker` at an order of magnitude the
+throughput (see ``benchmarks/bench_chunker_throughput.py``).
 
 NumPy is strictly optional: this module imports without it,
 :func:`numpy_available` reports the outcome, and
@@ -38,9 +51,11 @@ NumPy is strictly optional: this module imports without it,
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+import sys
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
 
-from repro.chunking.gear import GEAR_TABLE, GearChunker, _MASK64
+from repro.chunking.gear import GEAR_TABLE, GearChunker
 from repro.errors import ChunkingError
 
 try:  # NumPy is an optional accelerator, never a hard dependency.
@@ -55,14 +70,31 @@ _WINDOW = 64
 #: full-window lag sum (the window is still filling).
 _WARMUP = _WINDOW - 1
 
-#: Payload bytes per vectorised pass.  The doubling prefix makes ~12 passes
-#: over an 8-bytes-per-input-byte ``uint64`` array, so slabs are sized to
-#: keep that array (and one shift scratch buffer) cache-resident rather than
-#: streaming from main memory; 32 KiB of payload (256 KiB of ``uint64``)
-#: measured fastest by a wide margin over 128 KiB+ slabs.
+#: Payload bytes per vectorised pass of the per-byte fallback scan.
 _SLAB_BYTES = 1 << 15
 
+#: Four-byte groups per stride-4 slab.  The group buffers (uint64) plus the
+#: pair-sum and index scratch arrays must stay cache-resident across the four
+#: doubling passes; 2**14 groups (64 KiB of payload) measured fastest.
+_SLAB_GROUPS = 1 << 14
+
+#: Groups of history prepended to each slab so the first on-grid sum already
+#: sees its whole 64-byte window (16 groups x 4 bytes = 64 bytes).
+_GROUP_OVERLAP = _WINDOW // 4
+
+#: Below this many bytes the per-byte slab scan wins (stride-4 table and
+#: reconstruction setup cost more than they save).
+_STRIDE4_MIN_BYTES = 1 << 10
+
+#: Speculated chunks per warm-up verification pass.  Adaptive: halves after
+#: a mis-speculation, doubles after a clean block, so pathological inputs
+#: that cut inside every warm-up window degrade gracefully.
+_VERIFY_BLOCK_MIN = 8
+_VERIFY_BLOCK_MAX = 256
+
 _GEAR_NP = None
+_PAIR_NP = None
+_WARM_COLS = None
 
 
 def numpy_available() -> bool:
@@ -78,8 +110,29 @@ def _gear_table_np():
     return _GEAR_NP
 
 
+def _pair_table_np():
+    """``PAIR[b0 | b1 << 8] = (GEAR[b0] << 1) + GEAR[b1]`` for every 2-byte
+    little-endian pair value (512 KiB, built once, on first use)."""
+    global _PAIR_NP
+    if _PAIR_NP is None:
+        gear = _gear_table_np()
+        pair_values = _np.arange(1 << 16, dtype=_np.uint32)
+        _PAIR_NP = (gear[pair_values & 0xFF] << _np.uint64(1)) + gear[
+            pair_values >> 8
+        ]
+    return _PAIR_NP
+
+
+def _warm_cols():
+    """Column indices of the warm-up verification matrix (built once)."""
+    global _WARM_COLS
+    if _WARM_COLS is None:
+        _WARM_COLS = _np.arange(_WARMUP, dtype=_np.int64)
+    return _WARM_COLS
+
+
 class AcceleratedGearChunker(GearChunker):
-    """Drop-in :class:`GearChunker` with a vectorised boundary scan.
+    """Drop-in :class:`GearChunker` with a vectorised boundary scan and walk.
 
     Same parameters, same realized chunk-size statistics, byte-identical
     boundaries; requires NumPy (raises :class:`ChunkingError` otherwise, so
@@ -93,27 +146,42 @@ class AcceleratedGearChunker(GearChunker):
                 "pure-Python 'gear-pure' chunker"
             )
         super().__init__(*args, **kwargs)
+        # Top-bit masks make the hit test a threshold compare: the threshold
+        # is the mask's lowest set bit (2**(64-bits)).
+        self._thresh_strict = self._mask_strict & -self._mask_strict
+        self._thresh_loose = self._mask_loose & -self._mask_loose
 
-    def _boundary_positions(self, data) -> Tuple[List[int], List[int]]:
-        """Sorted byte positions whose full-window fingerprint hits each mask.
+    # ------------------------------------------------------------------ #
+    # vectorised scan: sorted mask-hit positions + strict classification
+    # ------------------------------------------------------------------ #
 
-        Returns ``(strict_positions, loose_positions)``; a position ``j`` is
-        listed when the gear fingerprint of the 64-byte window ending at
-        ``data[j]`` has all mask bits clear.  Only valid for scans that have
-        consumed at least 64 bytes -- the chunk walk consults these lists
-        exclusively past each chunk's warm-up region, where that holds.
+    def _mask_hits(self, arr) -> Tuple["_np.ndarray", "_np.ndarray"]:
+        """``(positions, strict)`` for the full-window fingerprint scan.
+
+        ``positions`` is the sorted array of byte positions whose full-window
+        gear fingerprint hits the *loose* mask; ``strict[i]`` is True where it
+        also hits the strict mask (strict hits are a subset of loose hits --
+        the strict mask carries at least as many top bits).  Only valid for
+        positions that have at least 64 bytes of history; the chunk walk
+        consults the arrays exclusively past each warm-up window, where that
+        holds.
         """
+        if (
+            arr.shape[0] < _STRIDE4_MIN_BYTES
+            or sys.byteorder != "little"  # pair table assumes LE uint32 views
+        ):
+            return self._mask_hits_bytewise(arr)
+        return self._mask_hits_stride4(arr)
+
+    def _mask_hits_bytewise(self, arr) -> Tuple["_np.ndarray", "_np.ndarray"]:
+        """Per-byte doubling-ladder scan (small inputs / big-endian hosts)."""
         np = _np
-        arr = np.frombuffer(data, dtype=np.uint8)
         gear = _gear_table_np()
-        mask_strict = np.uint64(self._mask_strict)
-        mask_loose = np.uint64(self._mask_loose)
-        strict_parts: List[List[int]] = []
-        loose_parts: List[List[int]] = []
-        total = arr.shape[0]
-        # Reused across slabs: the lag-sum accumulator and the shift scratch.
-        # Writing shifts into a preallocated scratch instead of a fresh
-        # temporary per pass keeps the whole doubling loop allocation-free.
+        thresh_strict = np.uint64(self._thresh_strict)
+        thresh_loose = np.uint64(self._thresh_loose)
+        total = int(arr.shape[0])
+        position_parts: List["np.ndarray"] = []
+        strict_parts: List["np.ndarray"] = []
         capacity = min(_SLAB_BYTES + _WARMUP, total)
         lag_buffer = np.empty(capacity, dtype=np.uint64)
         scratch = np.empty(capacity, dtype=np.uint64)
@@ -133,18 +201,225 @@ class AcceleratedGearChunker(GearChunker):
                 np.left_shift(lag_sum[:-shift], width, out=scratch[: size - shift])
                 lag_sum[shift:] += scratch[: size - shift]
                 shift <<= 1
-            lag_sum = lag_sum[base - lo:]
-            # Strict hits are a subset of loose hits (the strict mask carries
-            # strictly more bits), so test the strict mask only at loose hits.
-            loose_local = np.flatnonzero((lag_sum & mask_loose) == 0)
-            strict_local = loose_local[
-                (lag_sum[loose_local] & mask_strict) == 0
-            ]
-            loose_parts.append((loose_local + base).tolist())
-            strict_parts.append((strict_local + base).tolist())
-        strict_positions = [pos for part in strict_parts for pos in part]
-        loose_positions = [pos for part in loose_parts for pos in part]
-        return strict_positions, loose_positions
+            lag_sum = lag_sum[base - lo :]
+            local = np.flatnonzero(lag_sum < thresh_loose)
+            position_parts.append(local + base)
+            strict_parts.append(lag_sum[local] < thresh_strict)
+        if not position_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.bool_)
+        return (
+            np.concatenate(position_parts),
+            np.concatenate(strict_parts),
+        )
+
+    def _mask_hits_stride4(self, arr) -> Tuple["_np.ndarray", "_np.ndarray"]:
+        """Stride-4 grid scan with exact off-grid reconstruction."""
+        np = _np
+        gear = _gear_table_np()
+        pair = _pair_table_np()
+        thresh_strict = np.uint64(self._thresh_strict)
+        thresh_loose = np.uint64(self._thresh_loose)
+        total = int(arr.shape[0])
+        groups = total >> 2
+        grid_view = arr[: groups << 2].view(np.uint32)
+        position_parts: List["np.ndarray"] = []
+        strict_parts: List["np.ndarray"] = []
+        # Preallocated slab buffers (reused across slabs, allocation-free
+        # inner loop).  Each slab loads one group past its end so the
+        # off-grid reconstruction of its last group has the next group's
+        # pair sums in cache.
+        capacity = min(_SLAB_GROUPS + _GROUP_OVERLAP + 1, groups)
+        pair_lo = np.empty(capacity, dtype=np.uint64)
+        pair_hi = np.empty(capacity, dtype=np.uint64)
+        grid = np.empty(capacity, dtype=np.uint64)
+        scratch = np.empty(capacity, dtype=np.uint64)
+        recon_1 = np.empty(capacity, dtype=np.uint64)
+        recon_2 = np.empty(capacity, dtype=np.uint64)
+        recon_3 = np.empty(capacity, dtype=np.uint64)
+        combined = np.empty(capacity, dtype=np.uint64)
+        index_lo = np.empty(capacity, dtype=np.uint32)
+        index_hi = np.empty(capacity, dtype=np.uint32)
+        index_byte = np.empty(capacity, dtype=np.uint32)
+        shift_1 = np.uint64(1)
+        shift_2 = np.uint64(2)
+        shift_16 = np.uint32(16)
+        mask_16 = np.uint32(0xFFFF)
+        mask_8 = np.uint32(0xFF)
+        doubling_shifts = (np.uint64(4), np.uint64(8), np.uint64(16), np.uint64(32))
+        grid_offsets = np.array([3, 4, 5, 6], dtype=np.int64)
+        for base in range(0, groups, _SLAB_GROUPS):
+            lo = base - _GROUP_OVERLAP if base >= _GROUP_OVERLAP else 0
+            stop = base + _SLAB_GROUPS
+            if stop > groups:
+                stop = groups
+            hi = stop + 1 if stop < groups else groups
+            size = hi - lo
+            count = stop - base
+            offset = base - lo
+            slab = grid_view[lo:hi]
+            lo16 = index_lo[:size]
+            hi16 = index_hi[:size]
+            np.bitwise_and(slab, mask_16, out=lo16)
+            np.right_shift(slab, shift_16, out=hi16)
+            sums_lo = pair_lo[:size]
+            sums_hi = pair_hi[:size]
+            np.take(pair, lo16, out=sums_lo, mode="clip")
+            np.take(pair, hi16, out=sums_hi, mode="clip")
+            # Per-group gear sum: GEAR[b0]<<3 + GEAR[b1]<<2 + GEAR[b2]<<1 + GEAR[b3].
+            lag_sum = grid[:size]
+            np.left_shift(sums_lo, shift_2, out=lag_sum)
+            lag_sum += sums_hi
+            # Four doubling passes (lag w groups, shift 4w bits) give the
+            # full 64-byte window fingerprint at every position 4m + 3.
+            width = 1
+            for shift in doubling_shifts:
+                if width >= size:
+                    break
+                np.left_shift(lag_sum[:-width], shift, out=scratch[: size - width])
+                lag_sum[width:] += scratch[: size - width]
+                width <<= 1
+            on_grid = lag_sum[offset : offset + count]
+            # Reconstruct the three off-grid positions of each group from the
+            # on-grid value: F_{j+1} = (F_j << 1) + GEAR[b_{j+1}].  Position
+            # 4m+5 reuses the next group's low pair sum whole; 4m+4 and 4m+6
+            # need one byte-table gather each.  The last group overall has no
+            # next group, so it stays grid-only (handled below).
+            recon = min(count, groups - base - 1)
+            if recon > 0:
+                next_lo16 = lo16[offset + 1 : offset + 1 + recon]
+                next_hi16 = hi16[offset + 1 : offset + 1 + recon]
+                off_2 = recon_2[:recon]
+                np.left_shift(on_grid[:recon], shift_2, out=off_2)
+                off_2 += sums_lo[offset + 1 : offset + 1 + recon]
+                byte_index = index_byte[:recon]
+                np.bitwise_and(next_lo16, mask_8, out=byte_index)
+                off_1 = recon_1[:recon]
+                np.left_shift(on_grid[:recon], shift_1, out=off_1)
+                np.take(gear, byte_index, out=scratch[:recon], mode="clip")
+                off_1 += scratch[:recon]
+                np.bitwise_and(next_hi16, mask_8, out=byte_index)
+                off_3 = recon_3[:recon]
+                np.left_shift(off_2, shift_1, out=off_3)
+                np.take(gear, byte_index, out=scratch[:recon], mode="clip")
+                off_3 += scratch[:recon]
+                low = combined[:recon]
+                np.minimum(on_grid[:recon], off_1, out=low)
+                np.minimum(low, off_2, out=low)
+                np.minimum(low, off_3, out=low)
+                hit_groups = np.flatnonzero(low < thresh_loose)
+                if hit_groups.size:
+                    values = np.empty((hit_groups.size, 4), dtype=np.uint64)
+                    values[:, 0] = on_grid[hit_groups]
+                    values[:, 1] = off_1[hit_groups]
+                    values[:, 2] = off_2[hit_groups]
+                    values[:, 3] = off_3[hit_groups]
+                    group_idx, lane_idx = np.nonzero(values < thresh_loose)
+                    # nonzero is row-major and lanes map to offsets 3..6, so
+                    # the emitted positions stay sorted.
+                    position_parts.append(
+                        (hit_groups[group_idx] + base) * 4 + grid_offsets[lane_idx]
+                    )
+                    strict_parts.append(values[group_idx, lane_idx] < thresh_strict)
+            if recon < count:
+                tail_grid = on_grid[recon:]
+                tail_hits = np.flatnonzero(tail_grid < thresh_loose)
+                if tail_hits.size:
+                    position_parts.append((tail_hits + base + recon) * 4 + 3)
+                    strict_parts.append(tail_grid[tail_hits] < thresh_strict)
+        covered = groups << 2
+        if covered < total:
+            # Up to 3 trailing bytes (and the off-grid positions of the very
+            # last group) fall outside the grid; finish them with one small
+            # per-byte doubling pass.
+            lo = covered - _WARMUP if covered >= _WARMUP else 0
+            tail = arr[lo:total]
+            size = total - lo
+            lag_sum = np.take(gear, tail)
+            shift = 1
+            while shift < _WINDOW and shift < size:
+                width = np.uint64(shift)
+                lag_sum[shift:] += lag_sum[: size - shift] << width
+                shift <<= 1
+            tail_view = lag_sum[covered - lo :]
+            tail_hits = np.flatnonzero(tail_view < thresh_loose)
+            if tail_hits.size:
+                position_parts.append(tail_hits + covered)
+                strict_parts.append(tail_view[tail_hits] < thresh_strict)
+        if not position_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.bool_)
+        return (
+            np.concatenate(position_parts),
+            np.concatenate(strict_parts),
+        )
+
+    # ------------------------------------------------------------------ #
+    # warm-up verification
+    # ------------------------------------------------------------------ #
+
+    def _first_warmup_hit(
+        self, arr, warm_begins, warm_lens, strict_cols, buffers
+    ) -> Optional[Tuple[int, int]]:
+        """First (row, column) warm-up boundary across a speculated block.
+
+        Each row is one chunk's warm-up window: ``warm_lens[r]`` bytes from
+        ``warm_begins[r]``, the first ``strict_cols[r]`` of which are judged
+        by the strict mask (the rest by the loose mask).  The per-row prefix
+        fingerprints are the reset recurrence, computed for all rows at once
+        with the doubling ladder along the row axis.  Returns None when no
+        window fires -- the speculative cuts stand.
+        """
+        np = _np
+        rows = len(warm_begins)
+        index, window, fingerprints, scratch, base_thresholds = buffers
+        cols = _warm_cols()
+        # Column-major layout -- window *offset* along axis 0, chunk along
+        # axis 1 -- so every slice the doubling ladder touches is contiguous
+        # (a row-major layout would make each pass a strided 63-element
+        # inner loop per chunk, an order of magnitude slower).
+        index = index[:, :rows]
+        np.add(np.array(warm_begins, dtype=np.int64)[None, :], cols[:, None], out=index)
+        window = window[:, :rows]
+        np.take(arr, index, mode="clip", out=window)
+        fingerprints = fingerprints[:, :rows]
+        np.take(_gear_table_np(), window, out=fingerprints)
+        scratch = scratch[:, :rows]
+        shift = 1
+        while shift < _WARMUP:
+            width = np.uint64(shift)
+            np.left_shift(
+                fingerprints[: _WARMUP - shift], width, out=scratch[: _WARMUP - shift]
+            )
+            fingerprints[shift:] += scratch[: _WARMUP - shift]
+            shift <<= 1
+        # Common case: every window is the full 63 bytes and switches masks at
+        # the same offset (the normalization point is a fixed chunk-relative
+        # offset) -- one broadcast threshold column, no validity mask.
+        common_limit = self._normal_point - self.min_size
+        if (
+            min(warm_lens) == _WARMUP
+            and all(limit == common_limit for limit in strict_cols)
+        ):
+            hits = fingerprints < base_thresholds[:, None]
+        else:
+            lens = np.array(warm_lens, dtype=np.int64)
+            strict_limit = np.array(strict_cols, dtype=np.int64)
+            thresholds = np.where(
+                cols[:, None] < strict_limit[None, :],
+                np.uint64(self._thresh_strict),
+                np.uint64(self._thresh_loose),
+            )
+            hits = (fingerprints < thresholds) & (cols[:, None] < lens[None, :])
+        hit_chunks = hits.any(axis=0)
+        if not hit_chunks.any():
+            return None
+        row = int(np.argmax(hit_chunks))
+        return row, int(np.argmax(hits[:, row]))
+
+    # ------------------------------------------------------------------ #
+    # the chunk walk
+    # ------------------------------------------------------------------ #
 
     def cut_offsets(self, data: "bytes | bytearray | memoryview") -> Iterator[int]:
         length = len(data)
@@ -152,69 +427,114 @@ class AcceleratedGearChunker(GearChunker):
             if length:
                 yield length
             return
-        strict_positions, loose_positions = self._boundary_positions(data)
-        num_strict = len(strict_positions)
-        num_loose = len(loose_positions)
-        strict_index = loose_index = 0
-        table = GEAR_TABLE
-        mask64 = _MASK64
-        mask_strict = self._mask_strict
-        mask_loose = self._mask_loose
+        np = _np
+        arr = np.frombuffer(data, dtype=np.uint8)
+        positions_np, strict_np = self._mask_hits(arr)
+        # Python lists beat ndarray scalar indexing by a wide margin in the
+        # per-chunk cursor walk below.
+        hits = positions_np.tolist()
+        num_hits = len(hits)
+        # next_strict[i]: index of the first strict hit at or after hit i
+        # (num_hits when none remains).  Most hits are loose-only, so the
+        # walk jumps straight to each chunk's deciding hit instead of
+        # scanning the loose hits in between one Python iteration at a time.
+        if num_hits:
+            strict_indices = np.flatnonzero(strict_np)
+            ahead = np.searchsorted(strict_indices, np.arange(num_hits))
+            next_strict = np.concatenate(
+                (strict_indices, [num_hits])
+            )[ahead].tolist()
+        else:
+            next_strict = []
         min_size = self.min_size
         max_size = self.max_size
         normal_point = self._normal_point
+        cols = _warm_cols()
+        verify_buffers = (
+            np.empty((_WARMUP, _VERIFY_BLOCK_MAX), dtype=np.int64),
+            np.empty((_WARMUP, _VERIFY_BLOCK_MAX), dtype=arr.dtype),
+            np.empty((_WARMUP, _VERIFY_BLOCK_MAX), dtype=np.uint64),
+            np.empty((_WARMUP, _VERIFY_BLOCK_MAX), dtype=np.uint64),
+            np.where(
+                cols < normal_point - min_size,
+                np.uint64(self._thresh_strict),
+                np.uint64(self._thresh_loose),
+            ),
+        )
         start = 0
+        cursor = 0
+        block_cap = _VERIFY_BLOCK_MAX
         while start < length:
-            remaining = length - start
-            if remaining <= min_size:
-                yield length
-                break
-            end = start + max_size if remaining > max_size else length
-            strict_end = start + normal_point
-            if strict_end > end:
-                strict_end = end
-            position = start + min_size  # cut-point skipping
-            warm_end = position + _WARMUP
-            if warm_end > end:
-                warm_end = end
-            cut = 0
-            # Warm-up: fewer than 64 bytes consumed since the reset, so the
-            # scan fingerprint is not yet the full-window lag sum; replay the
-            # pure recurrence over these (at most 63) bytes.
-            fingerprint = 0
-            for j in range(position, warm_end):
-                fingerprint = ((fingerprint << 1) + table[data[j]]) & mask64
-                if not fingerprint & (mask_strict if j < strict_end else mask_loose):
-                    cut = j + 1
+            # Speculate a block of chunks from the hit arrays alone, assuming
+            # no warm-up window fires.  One Python iteration per chunk; the
+            # cursors only ever move forward within a block.
+            spec_cuts: List[int] = []
+            warm_begins: List[int] = []
+            warm_lens: List[int] = []
+            strict_cols: List[int] = []
+            block_start = start
+            block_cursor = cursor
+            while block_start < length and len(spec_cuts) < block_cap:
+                remaining = length - block_start
+                if remaining <= min_size:
+                    spec_cuts.append(length)
+                    warm_begins.append(0)
+                    warm_lens.append(0)
+                    strict_cols.append(0)
+                    block_start = length
                     break
-            if not cut:
-                # Full-window region: boundaries are exactly the precomputed
-                # mask hits.  Candidate queries advance monotonically, so the
-                # list cursors never move backwards.
-                if warm_end < strict_end:
-                    while (
-                        strict_index < num_strict
-                        and strict_positions[strict_index] < warm_end
-                    ):
-                        strict_index += 1
-                    if (
-                        strict_index < num_strict
-                        and strict_positions[strict_index] < strict_end
-                    ):
-                        cut = strict_positions[strict_index] + 1
-                if not cut:
-                    loose_from = warm_end if warm_end > strict_end else strict_end
-                    while (
-                        loose_index < num_loose
-                        and loose_positions[loose_index] < loose_from
-                    ):
-                        loose_index += 1
-                    if loose_index < num_loose and loose_positions[loose_index] < end:
-                        cut = loose_positions[loose_index] + 1
+                end = block_start + max_size if remaining > max_size else length
+                strict_end = block_start + normal_point
+                if strict_end > end:
+                    strict_end = end
+                warm_begin = block_start + min_size
+                warm_end = warm_begin + _WARMUP
+                if warm_end > end:
+                    warm_end = end
+                block_cursor = bisect_left(hits, warm_end, block_cursor)
+                cut = 0
+                probe = block_cursor
+                if probe < num_hits:
+                    # Before the normalization point only strict hits cut;
+                    # next_strict jumps over the loose hits in between.
+                    strict_probe = next_strict[probe]
+                    if strict_probe < num_hits and hits[strict_probe] < strict_end:
+                        cut = hits[strict_probe] + 1
+                        probe = strict_probe
+                    else:
+                        # Past the normalization point any loose hit cuts.
+                        probe = bisect_left(hits, strict_end, probe)
+                        if probe < num_hits and hits[probe] < end:
+                            cut = hits[probe] + 1
                 if not cut:
                     cut = end
-            yield cut
-            start = cut
+                spec_cuts.append(cut)
+                warm_begins.append(warm_begin)
+                warm_lens.append(warm_end - warm_begin)
+                limit = strict_end - warm_begin
+                strict_cols.append(limit if limit > 0 else 0)
+                block_start = cut
+                block_cursor = probe
+            failure = self._first_warmup_hit(
+                arr, warm_begins, warm_lens, strict_cols, verify_buffers
+            )
+            if failure is None:
+                for cut in spec_cuts:
+                    yield cut
+                start = block_start
+                cursor = block_cursor
+                if block_cap < _VERIFY_BLOCK_MAX:
+                    block_cap <<= 1
+            else:
+                row, col = failure
+                for cut in spec_cuts[:row]:
+                    yield cut
+                corrected = warm_begins[row] + col + 1
+                yield corrected
+                start = corrected
+                cursor = bisect_left(hits, corrected)
+                if block_cap > _VERIFY_BLOCK_MIN:
+                    block_cap >>= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return super().__repr__().replace("GearChunker", "AcceleratedGearChunker", 1)

@@ -33,11 +33,11 @@ class DedupeCluster(ClusterView):
         Configuration applied to every node.
     routing_scheme:
         The inter-node data routing scheme (defaults to Sigma-Dedupe routing).
-    container_backend / storage_dir:
+    container_backend / storage_dir / container_compression:
         Convenience overrides threaded into ``node_config``: the registered
-        container backend name each node stores sealed containers with, and
-        the directory disk-backed backends write under (each node claims its
-        own ``node-<id>`` subdirectory).
+        container backend name each node stores sealed containers with, the
+        directory disk-backed backends write under (each node claims its
+        own ``node-<id>`` subdirectory), and the spill compression codec.
     """
 
     def __init__(
@@ -47,6 +47,7 @@ class DedupeCluster(ClusterView):
         routing_scheme: Optional[RoutingScheme] = None,
         container_backend: Optional[str] = None,
         storage_dir: Optional[str] = None,
+        container_compression: Optional[str] = None,
     ):
         if num_nodes < 1:
             raise ValidationError("a cluster needs at least one node")
@@ -55,6 +56,7 @@ class DedupeCluster(ClusterView):
             for key, value in (
                 ("container_backend", container_backend),
                 ("storage_dir", storage_dir),
+                ("container_compression", container_compression),
             )
             if value is not None
         }

@@ -80,6 +80,11 @@ class SigmaDedupe:
         ``storage_dir`` is where disk-backed backends write (one ``node-<id>``
         subdirectory per node).  Passing only ``storage_dir`` implies the
         ``"file"`` backend.
+    container_compression:
+        Spill compression codec for disk-backed backends (``"none"``,
+        ``"zlib"``, ``"zstd"`` or ``"auto"``); ``None`` defers to the
+        ``REPRO_CONTAINER_COMPRESSION`` environment variable, falling back
+        to uncompressed (mmap-served) spill files.
     workers:
         Default number of parallel ingest lanes for every backup client of
         this framework (overridable per backup call).  ``None`` defers to the
@@ -102,6 +107,7 @@ class SigmaDedupe:
         fingerprint_algorithm: str = "sha1",
         container_backend: Optional[str] = None,
         storage_dir: Optional[str] = None,
+        container_compression: Optional[str] = None,
         workers: Optional[int] = None,
         parallel_executor: str = "thread",
     ):
@@ -124,6 +130,7 @@ class SigmaDedupe:
             routing_scheme=routing_scheme,
             container_backend=container_backend,
             storage_dir=storage_dir,
+            container_compression=container_compression,
         )
         self.director = Director()
         self.restore_manager = RestoreManager(self.cluster, self.director)

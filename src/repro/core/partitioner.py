@@ -43,7 +43,9 @@ class PartitionerConfig:
     handprint_size:
         Number of representative fingerprints per handprint (paper default: 8).
     fingerprint_algorithm:
-        Hash used for chunk fingerprints (paper default: SHA-1).
+        Hash used for chunk fingerprints (paper default: SHA-1); ``"xxh64"``
+        and ``"blake3"`` are accepted when their optional modules are
+        installed.
     keep_chunk_data:
         Whether chunk payloads are retained in the records (set to ``False``
         for pure accounting simulations to save memory).

@@ -44,6 +44,15 @@ class ContainerNotFoundError(StorageError):
     """Raised when a container id is not present in a container store."""
 
 
+class CompressionError(StorageError):
+    """Raised for spill-plane compression problems: an unknown or unavailable
+    codec at configuration time, or a blob that cannot be decompressed.
+
+    The spill read path never lets this (or a raw ``zlib.error``) escape to
+    restore callers: a spill file that fails decompression surfaces as
+    :class:`ContainerNotFoundError` with this error as its cause."""
+
+
 class ChunkNotFoundError(StorageError):
     """Raised when a chunk fingerprint cannot be resolved during restore."""
 

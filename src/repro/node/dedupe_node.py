@@ -76,6 +76,11 @@ class NodeConfig:
         Directory for disk-backed container backends.  Each node uses its own
         ``node-<id>`` subdirectory so container files never collide; ``None``
         lets the backend create a private temporary directory.
+    container_compression:
+        Spill compression codec for disk-backed backends (``"none"``,
+        ``"zlib"``, ``"zstd"`` or ``"auto"``).  ``None`` defers to the
+        ``REPRO_CONTAINER_COMPRESSION`` environment variable, falling back to
+        uncompressed (mmap-served) spill files.
     """
 
     container_capacity: int = DEFAULT_CONTAINER_CAPACITY
@@ -85,6 +90,7 @@ class NodeConfig:
     batch_execution: bool = True
     container_backend: Optional[str] = None
     storage_dir: Optional[str] = None
+    container_compression: Optional[str] = None
 
 
 @dataclass
@@ -134,7 +140,11 @@ class DedupeNode:
         storage_dir = self.config.storage_dir
         if storage_dir is not None:
             storage_dir = os.path.join(storage_dir, f"node-{node_id}")
-        self.container_backend = build_container_backend(backend_name, storage_dir=storage_dir)
+        self.container_backend = build_container_backend(
+            backend_name,
+            storage_dir=storage_dir,
+            compression=self.config.container_compression,
+        )
         self.container_store = ContainerStore(
             self.config.container_capacity, backend=self.container_backend
         )

@@ -48,7 +48,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
 from repro.core.superchunk import SuperChunk
-from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.fingerprint.fingerprinter import ChunkRecord, records_from_pairs
 from repro.errors import ValidationError
 
 ENV_INGEST_WORKERS = "REPRO_INGEST_WORKERS"
@@ -446,13 +446,5 @@ def _process_chunk_file(data: bytes) -> List[Tuple[bytes, int]]:
 
 def _records_from_cuts(
     data: bytes, cuts: List[Tuple[bytes, int]], keep_data: bool
-) -> Iterator[ChunkRecord]:
-    offset = 0
-    for fingerprint, length in cuts:
-        yield ChunkRecord(
-            fingerprint=fingerprint,
-            length=length,
-            offset=offset,
-            data=data[offset:offset + length] if keep_data else None,
-        )
-        offset += length
+) -> List[ChunkRecord]:
+    return records_from_pairs(data, cuts, keep_data=keep_data)

@@ -18,6 +18,8 @@ Implements the data structures of Figure 3 of the paper:
 * :mod:`~repro.storage.backends` -- pluggable backends deciding where sealed
   containers' data sections live: resident in RAM (default) or spilled to
   disk files with only metadata kept resident.
+* :mod:`~repro.storage.compression` -- spill-plane codecs (``none``/``zlib``/
+  optional ``zstd``) the file backend compresses sealed data sections with.
 """
 
 from repro.storage.backends import (
@@ -27,6 +29,13 @@ from repro.storage.backends import (
     InMemoryBackend,
     build_container_backend,
 )
+from repro.storage.compression import (
+    COMPRESSION_CODECS,
+    CompressionCodec,
+    build_codec,
+    resolve_compression,
+    zstd_available,
+)
 from repro.storage.container import Container, ContainerMetadataEntry
 from repro.storage.container_store import ContainerStore
 from repro.storage.chunk_index import DiskChunkIndex
@@ -34,7 +43,9 @@ from repro.storage.fingerprint_cache import ChunkFingerprintCache
 from repro.storage.similarity_index import SimilarityIndex
 
 __all__ = [
+    "COMPRESSION_CODECS",
     "CONTAINER_BACKENDS",
+    "CompressionCodec",
     "Container",
     "ContainerBackend",
     "ContainerMetadataEntry",
@@ -44,5 +55,8 @@ __all__ = [
     "FileContainerBackend",
     "InMemoryBackend",
     "SimilarityIndex",
+    "build_codec",
     "build_container_backend",
+    "resolve_compression",
+    "zstd_available",
 ]

@@ -14,25 +14,42 @@ section lives:
   this backend the node's total footprint is bounded by the open containers
   plus indexes, not by the stored data.
 
+The file backend optionally compresses each spilled data section (see
+:mod:`repro.storage.compression`): raw spill files are read back through
+``mmap`` so restore windows slice pages instead of copying whole ``.cdata``
+files, and compressed ones are decompressed once per container -- a cost the
+batched ``read_chunks`` restore path amortises over every chunk in the batch.
+
 Backends are selected by registered name through
 :func:`build_container_backend`, via ``NodeConfig.container_backend`` /
 ``SigmaDedupe(container_backend=..., storage_dir=...)`` or the
 ``REPRO_CONTAINER_BACKEND`` environment variable (used by the CI leg that runs
-the whole test suite on the spill-to-disk backend).
+the whole test suite on the spill-to-disk backend); compression is the
+``compression=`` knob on the same paths, or ``REPRO_CONTAINER_COMPRESSION``.
 """
 
 from __future__ import annotations
 
+import mmap
 import tempfile
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import ContainerNotFoundError, StorageError
-from repro.storage.container import Container
+from repro.errors import CompressionError, ContainerNotFoundError, StorageError
+from repro.storage.compression import build_codec, resolve_compression
+from repro.storage.container import Container, PayloadSection
 
 ENV_CONTAINER_BACKEND = "REPRO_CONTAINER_BACKEND"
 """Environment variable naming the default container backend for nodes."""
+
+DEFAULT_DECOMPRESSED_CACHE_BYTES = 32 * 1024 * 1024
+"""Default budget for the compressed file backend's decompressed-section LRU
+(8 default-capacity containers).  Raw spill files need no such cache -- their
+``mmap`` pages live in the kernel page cache -- but a compressed section costs
+a real decompression to rebuild, and fragmented restores revisit the same
+container across many read windows."""
 
 
 class ContainerBackend(ABC):
@@ -52,14 +69,18 @@ class ContainerBackend(ABC):
 class InMemoryBackend(ContainerBackend):
     """Keep every container payload resident in RAM (the seed behavior).
 
-    ``storage_dir`` is accepted (and ignored) so every registered backend
-    shares one construction signature and callers can thread the knob
-    unconditionally.
+    ``storage_dir`` and ``compression`` are accepted (and ignored) so every
+    registered backend shares one construction signature and callers can
+    thread the knobs unconditionally.
     """
 
     name = "memory"
 
-    def __init__(self, storage_dir: "str | Path | None" = None):
+    def __init__(
+        self,
+        storage_dir: "str | Path | None" = None,
+        compression: Optional[str] = None,
+    ):
         pass
 
     def on_seal(self, container: Container) -> None:
@@ -75,61 +96,146 @@ class FileContainerBackend(ContainerBackend):
         Directory receiving one ``container-<id>.cdata`` file per sealed
         container.  When omitted, a private temporary directory is created and
         removed when the backend is garbage-collected or closed.
+    compression:
+        Registered codec name (``"none"``, ``"zlib"``, ``"zstd"``, ``"auto"``)
+        applied to every spilled data section.  ``None`` defers to the
+        ``REPRO_CONTAINER_COMPRESSION`` environment variable, falling back to
+        ``"none"`` -- raw spill files, read back as ``mmap`` page slices.
+    decompressed_cache_bytes:
+        Budget for the decompressed-section LRU used when a codec is active:
+        a container is decompressed once and its section cached, so a
+        fragmented restore that revisits the container across many read
+        windows pays the codec once, not once per window.
     """
 
     name = "file"
 
-    def __init__(self, storage_dir: "str | Path | None" = None):
+    def __init__(
+        self,
+        storage_dir: "str | Path | None" = None,
+        compression: Optional[str] = None,
+        decompressed_cache_bytes: int = DEFAULT_DECOMPRESSED_CACHE_BYTES,
+    ):
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
         if storage_dir is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-containers-")
             storage_dir = self._tmpdir.name
         self.storage_dir = Path(storage_dir)
         self.storage_dir.mkdir(parents=True, exist_ok=True)
+        self.compression = resolve_compression(compression)
+        self._codec = build_codec(self.compression)
         self.spilled_containers = 0
         self.spilled_bytes = 0
+        """Raw data-section bytes handed to the backend at seal time."""
+        self.spilled_bytes_stored = 0
+        """Bytes actually written to spill files (== ``spilled_bytes`` when
+        ``compression == "none"``, smaller when a codec is active) -- the
+        ``spill_bytes_stored`` metric the ingest bench records."""
         self.spill_loads = 0
         """Spill files actually read back from disk (one-slot buffer hits do
         not count) -- the metric the batched restore path minimises."""
         # One-slot read buffer: consecutive chunk reads from the same sealed
         # container (the common restore pattern) reload its file only once
         # while keeping resident payload bounded to a single container.
-        self._last_loaded: "tuple[int, bytes] | None" = None
+        self._last_loaded: Optional[Tuple[int, PayloadSection]] = None
+        # Decompressed-section LRU (compressed spills only): byte-bounded so
+        # resident decompressed payload never exceeds the configured budget.
+        self._decompressed: "OrderedDict[int, bytes]" = OrderedDict()
+        self._decompressed_bytes = 0
+        self._decompressed_capacity = decompressed_cache_bytes
 
     def spill_path(self, container_id: int) -> Path:
         """The spill file holding ``container_id``'s data section."""
         return self.storage_dir / f"container-{container_id:08d}.cdata"
 
     def on_seal(self, container: Container) -> None:
-        payload = container.payload_bytes()
-        self.spill_path(container.container_id).write_bytes(payload)
+        section = container.payload_bytes()
+        blob = section if self._codec is None else self._codec.compress(section)
+        self.spill_path(container.container_id).write_bytes(blob)
         self.spilled_containers += 1
-        self.spilled_bytes += len(payload)
+        self.spilled_bytes += len(section)
+        self.spilled_bytes_stored += len(blob)
         container.evict_payload(self._load)
 
-    def _load(self, container: Container) -> bytes:
-        cached = self._last_loaded
-        if cached is not None and cached[0] == container.container_id:
-            return cached[1]
+    def _map_spill_file(self, container: Container) -> PayloadSection:
+        """``mmap`` the spill file (``bytes`` only for the empty-file case)."""
         path = self.spill_path(container.container_id)
         try:
-            payload = path.read_bytes()
+            with open(path, "rb") as handle:
+                try:
+                    return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                except ValueError:
+                    # A zero-length file cannot be mapped; an empty section is
+                    # still a valid (degenerate) spill.
+                    return handle.read()
         except OSError as exc:
             raise ContainerNotFoundError(
                 f"spill file for container {container.container_id} is missing "
                 f"or unreadable: {path}"
             ) from exc
+
+    def _load(self, container: Container) -> PayloadSection:
+        cached = self._last_loaded
+        if cached is not None and cached[0] == container.container_id:
+            return cached[1]
+        if self._codec is not None:
+            remembered = self._decompressed.get(container.container_id)
+            if remembered is not None:
+                # Decompressed-LRU hit: the codec already ran for this
+                # container; neither a spill load nor a decompression happens.
+                self._decompressed.move_to_end(container.container_id)
+                self._last_loaded = (container.container_id, remembered)
+                return remembered
+        stored = self._map_spill_file(container)
+        payload: PayloadSection
+        if self._codec is None:
+            # Raw spill: serve the map itself; chunk reads slice windows out
+            # of it (mmap slices return bytes), never copying the whole file.
+            payload = stored
+        else:
+            try:
+                section = self._codec.decompress(stored, container.used)
+            except CompressionError as exc:
+                raise ContainerNotFoundError(
+                    f"spill file for container {container.container_id} cannot "
+                    f"be decompressed ({self.compression}): "
+                    f"{self.spill_path(container.container_id)}"
+                ) from exc
+            finally:
+                if isinstance(stored, mmap.mmap):
+                    stored.close()
+            self._remember_decompressed(container.container_id, section)
+            payload = section
         if len(payload) != container.used:
             raise ContainerNotFoundError(
                 f"spill file for container {container.container_id} is truncated: "
-                f"expected {container.used} bytes, found {len(payload)} ({path})"
+                f"expected {container.used} bytes, found {len(payload)} "
+                f"({self.spill_path(container.container_id)})"
             )
         self.spill_loads += 1
         self._last_loaded = (container.container_id, payload)
         return payload
 
+    def _remember_decompressed(self, container_id: int, section: bytes) -> None:
+        """LRU-cache a decompressed data section within the byte budget."""
+        if len(section) > self._decompressed_capacity:
+            return
+        previous = self._decompressed.pop(container_id, None)
+        if previous is not None:
+            self._decompressed_bytes -= len(previous)
+        self._decompressed[container_id] = section
+        self._decompressed_bytes += len(section)
+        while self._decompressed_bytes > self._decompressed_capacity:
+            _, evicted = self._decompressed.popitem(last=False)
+            self._decompressed_bytes -= len(evicted)
+
     def close(self) -> None:
+        cached = self._last_loaded
         self._last_loaded = None
+        self._decompressed.clear()
+        self._decompressed_bytes = 0
+        if cached is not None and isinstance(cached[1], mmap.mmap):
+            cached[1].close()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
@@ -143,13 +249,15 @@ CONTAINER_BACKENDS: Dict[str, Callable[..., ContainerBackend]] = {
 
 
 def build_container_backend(
-    name: str, storage_dir: "str | Path | None" = None
+    name: str,
+    storage_dir: "str | Path | None" = None,
+    compression: Optional[str] = None,
 ) -> ContainerBackend:
     """Instantiate a registered container backend by name.
 
-    Every registered factory is called as ``factory(storage_dir=...)``;
-    backends that need no directory (the in-memory one, or third-party
-    registrations) simply ignore it.
+    Every registered factory is called as ``factory(storage_dir=...,
+    compression=...)``; backends that need no directory or codec (the
+    in-memory one, or third-party registrations) simply ignore them.
     """
     try:
         factory = CONTAINER_BACKENDS[name]
@@ -158,4 +266,4 @@ def build_container_backend(
             f"unknown container backend {name!r}; expected one of "
             f"{sorted(CONTAINER_BACKENDS)}"
         ) from None
-    return factory(storage_dir=storage_dir)
+    return factory(storage_dir=storage_dir, compression=compression)

@@ -23,8 +23,9 @@ contiguous layout, so the spilled file and the resident view stay coherent.
 
 from __future__ import annotations
 
+import mmap
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Union
 
 from repro.errors import ContainerFullError, ContainerNotFoundError, StorageError
 from repro.fingerprint.fingerprinter import ChunkRecord
@@ -32,6 +33,12 @@ from repro.fingerprint.fingerprinter import ChunkRecord
 DEFAULT_CONTAINER_CAPACITY = 4 * 1024 * 1024
 """Default container data-section capacity in bytes (4 MiB, a common choice in
 container-based dedup stores such as DDFS)."""
+
+PayloadSection = Union[bytes, mmap.mmap]
+"""A contiguous container data section as backends serve it: plain ``bytes``,
+or an ``mmap`` over the spill file so restore windows slice pages lazily
+instead of copying the whole file.  Both slice to ``bytes``, which is all the
+read path ever does with one."""
 
 
 class ContainerMetadataEntry(NamedTuple):
@@ -70,7 +77,7 @@ class Container:
     _metadata: List[ContainerMetadataEntry] = field(default_factory=list, repr=False)
     _index_of: Dict[bytes, int] = field(default_factory=dict, repr=False)
     _used: int = field(default=0, repr=False)
-    _loader: Optional[Callable[["Container"], bytes]] = field(default=None, repr=False)
+    _loader: Optional[Callable[["Container"], PayloadSection]] = field(default=None, repr=False)
 
     @property
     def used(self) -> int:
@@ -170,11 +177,14 @@ class Container:
         """Mark the container immutable (it is now a candidate for prefetching only)."""
         self.sealed = True
 
-    def evict_payload(self, loader: Callable[["Container"], bytes]) -> None:
+    def evict_payload(self, loader: Callable[["Container"], PayloadSection]) -> None:
         """Drop the in-RAM data section, reloading through ``loader`` on reads.
 
         Only sealed (immutable) containers may be evicted; the metadata
         section stays resident so fingerprint prefetching needs no payload I/O.
+        The loader returns the contiguous data section as any
+        :data:`PayloadSection` -- ``bytes``, or an ``mmap`` of the spill file
+        whose windows the read path slices without a whole-file copy.
         """
         if not self.sealed:
             # A lifecycle violation, not a capacity condition: callers
@@ -186,9 +196,14 @@ class Container:
         self._loader = loader
         self._parts = None
 
-    def payload_bytes(self) -> bytes:
+    def payload_bytes(self) -> PayloadSection:
         """The whole data section in its contiguous on-disk layout (loading it
-        back if evicted)."""
+        back if evicted).
+
+        Resident containers return ``bytes``; an evicted one returns whatever
+        its backend loader serves (possibly an ``mmap`` view of the spill
+        file).  Either way the result slices to ``bytes``, which is the only
+        operation the chunk read path performs."""
         # Read _parts once: a concurrent seal+evict may null it between a
         # check and a use, and the loader path below handles that correctly.
         parts = self._parts
@@ -230,7 +245,7 @@ class Container:
                 parts[position] if position is not None else None
                 for position in positions
             ]
-        payload: Optional[bytes] = None
+        payload: Optional[PayloadSection] = None
         results: List[Optional[bytes]] = []
         for position in positions:
             if position is None:

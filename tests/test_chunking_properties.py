@@ -1,13 +1,25 @@
 """Property-based tests (hypothesis) for the chunking substrate."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.chunking.accel import AcceleratedGearChunker, numpy_available
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.chunking.fixed import StaticChunker
 from repro.chunking.gear import GearChunker
 from repro.chunking.tttd import TTTDChunker
 
 binary_data = st.binary(min_size=0, max_size=20_000)
+
+#: Biased towards low-entropy payloads (repeated short motifs) -- dense gear
+#: hits stress the speculative walk's correction path far harder than uniform
+#: random bytes, where warm-up failures are rare.
+repetitive_data = st.builds(
+    lambda motif, reps, tail: motif * reps + tail,
+    motif=st.binary(min_size=1, max_size=64),
+    reps=st.integers(min_value=1, max_value=512),
+    tail=st.binary(min_size=0, max_size=128),
+)
 
 
 class TestStaticChunkerProperties:
@@ -166,6 +178,96 @@ class TestChunkStreamEquivalence:
         chunker = GearChunker(average_size=512, min_size=64, max_size=2048)
         streamed = b"".join(c.data for c in chunker.chunk_stream(blocks))
         assert streamed == data
+
+
+@pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+class TestAcceleratedGearEquivalence:
+    """The vectorised walk must be byte-identical to the pure GearChunker.
+
+    Sizes span the ``_STRIDE4_MIN_BYTES`` (1 KB) threshold, so both the
+    bytewise fallback and the stride-4 grid scan are exercised, and the
+    repetitive strategy drives the speculative walk through its warm-up
+    correction path.
+    """
+
+    def _pair(self):
+        kwargs = dict(average_size=512, min_size=64, max_size=2048)
+        return GearChunker(**kwargs), AcceleratedGearChunker(**kwargs)
+
+    @given(data=st.one_of(binary_data, repetitive_data))
+    @settings(max_examples=50, deadline=None)
+    def test_oneshot_boundaries_match_pure(self, data):
+        pure, accel = self._pair()
+        expected = [(c.offset, c.length) for c in pure.chunk(data)]
+        observed = [(c.offset, c.length) for c in accel.chunk(data)]
+        assert observed == expected
+
+    @given(
+        data=st.one_of(binary_data, repetitive_data),
+        cut_points=st.lists(st.integers(min_value=0, max_value=40_000), max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_streamed_boundaries_match_pure(self, data, cut_points):
+        pure, accel = self._pair()
+        blocks = _split_into_blocks(data, cut_points)
+        expected = [(c.offset, c.data) for c in pure.chunk(data)]
+        observed = [(c.offset, c.data) for c in accel.chunk_stream(blocks)]
+        assert observed == expected
+
+    @given(data=st.binary(min_size=900, max_size=1_200))
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_around_stride_threshold(self, data):
+        # 1024 bytes is where the scan switches from the bytewise fallback to
+        # the stride-4 grid; both sides (and the boundary itself) must agree.
+        pure, accel = self._pair()
+        assert [c.length for c in accel.chunk(data)] == [
+            c.length for c in pure.chunk(data)
+        ]
+
+    @given(data=st.one_of(binary_data, repetitive_data))
+    @settings(max_examples=50, deadline=None)
+    def test_cut_offsets_invariants(self, data):
+        _, accel = self._pair()
+        cuts = list(accel.cut_offsets(data))
+        if not data:
+            assert cuts == []
+            return
+        assert cuts == sorted(set(cuts))
+        assert cuts[-1] == len(data)
+        previous = 0
+        for cut in cuts[:-1]:
+            assert accel.min_size < cut - previous <= accel.max_size
+            previous = cut
+        assert 0 < cuts[-1] - previous <= accel.max_size
+
+
+class TestCompressedRestoreEquivalence:
+    """Spill compression must never change restored bytes."""
+
+    @given(
+        payload=st.one_of(
+            st.binary(min_size=1, max_size=60_000),
+            repetitive_data,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_restore_identical_with_and_without_compression(self, payload, tmp_path_factory):
+        from repro.core.framework import SigmaDedupe
+        from repro.node.dedupe_node import NodeConfig
+
+        restored = []
+        for compression in ("none", "zlib"):
+            root = tmp_path_factory.mktemp(f"spill-{compression}")
+            framework = SigmaDedupe(
+                num_nodes=2,
+                chunker=GearChunker(average_size=512, min_size=64, max_size=2048),
+                node_config=NodeConfig(container_capacity=4096),
+                storage_dir=str(root),
+                container_compression=compression,
+            )
+            report = framework.backup([("f.bin", payload)])
+            restored.append(framework.restore(report.session_id, "f.bin"))
+        assert restored[0] == restored[1] == payload
 
 
 class TestMeanChunkSizeTolerance:

@@ -20,7 +20,8 @@ from repro.errors import ChunkNotFoundError, RestoreIntegrityError
 from repro.node.dedupe_node import NodeConfig
 
 
-def build_framework(storage_dir=None, seed=2024, generations=3, num_files=4):
+def build_framework(storage_dir=None, seed=2024, generations=3, num_files=4,
+                    container_compression=None):
     """A multi-generation session mix whose later recipes interleave containers:
     unchanged chunks resolve to old generations' sealed containers while edits
     land in fresh ones, exactly the pattern batched restore wins on."""
@@ -31,6 +32,7 @@ def build_framework(storage_dir=None, seed=2024, generations=3, num_files=4):
         superchunk_size=16 * 1024,
         node_config=NodeConfig(container_capacity=32 * 1024),
         storage_dir=storage_dir,
+        container_compression=container_compression,
     )
     rng = random.Random(seed)
     files = [
@@ -111,7 +113,12 @@ class TestRestoreEquivalence:
             assert per_chunk == batched
 
     def test_batched_path_loads_strictly_fewer_spill_files(self, tmp_path):
-        framework, sessions, _ = build_framework(storage_dir=str(tmp_path), seed=16)
+        # Raw spills pinned: with a codec active, the decompressed-section
+        # LRU would satisfy the second restore without any spill load at all,
+        # and this test counts raw load accounting.
+        framework, sessions, _ = build_framework(
+            storage_dir=str(tmp_path), seed=16, container_compression="none"
+        )
         session_id = sessions[-1].session_id
 
         before = spill_loads(framework)

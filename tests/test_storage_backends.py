@@ -1,10 +1,11 @@
 """Tests for repro.storage.backends (pluggable container storage)."""
 
+import mmap
 import os
 
 import pytest
 
-from repro.errors import ContainerNotFoundError, StorageError
+from repro.errors import CompressionError, ContainerNotFoundError, StorageError
 from repro.fingerprint.fingerprinter import ChunkRecord
 from repro.node.dedupe_node import DedupeNode, NodeConfig
 from repro.storage.backends import (
@@ -14,8 +15,28 @@ from repro.storage.backends import (
     InMemoryBackend,
     build_container_backend,
 )
+from repro.storage.compression import (
+    COMPRESSION_CODECS,
+    ENV_CONTAINER_COMPRESSION,
+    build_codec,
+    resolve_compression,
+    zstd_available,
+)
 from repro.storage.container_store import ContainerStore
 from tests.helpers import deterministic_bytes, fingerprint_of, superchunk_from_seeds
+
+#: Codec names usable on this host ("none" always; "zstd" only with the
+#: optional zstandard module installed).
+AVAILABLE_CODECS = [
+    name
+    for name in sorted(COMPRESSION_CODECS)
+    if name != "zstd" or zstd_available()
+]
+
+#: A payload real codecs compress well: unique 32-byte spans, each repeated.
+COMPRESSIBLE = b"".join(
+    deterministic_bytes(32, seed=i) * 8 for i in range(8)
+)
 
 
 def record(data: bytes) -> ChunkRecord:
@@ -50,7 +71,9 @@ class TestRegistry:
 
 class TestSpillOnSeal:
     def test_sealed_payload_evicted_and_spilled(self, tmp_path):
-        backend = FileContainerBackend(tmp_path)
+        # compression="none" pins the raw spill format (st_size == raw bytes)
+        # even when a CI leg exports REPRO_CONTAINER_COMPRESSION.
+        backend = FileContainerBackend(tmp_path, compression="none")
         store = ContainerStore(container_capacity=64, backend=backend)
         chunk = record(deterministic_bytes(40, seed=1))
         container_id = store.store_chunk(chunk)
@@ -113,7 +136,9 @@ class TestSpillOnSeal:
 
 class TestSpillFileCrashes:
     def _spilled(self, tmp_path):
-        backend = FileContainerBackend(tmp_path)
+        # Raw spill format pinned: truncating a *compressed* file surfaces as
+        # a decompression failure, not the byte-count mismatch under test.
+        backend = FileContainerBackend(tmp_path, compression="none")
         store = ContainerStore(container_capacity=64, backend=backend)
         chunk = record(deterministic_bytes(40, seed=5))
         container_id = store.store_chunk(chunk)
@@ -192,3 +217,206 @@ class TestNodeBackendSelection:
         cluster = DedupeCluster(num_nodes=3, storage_dir=str(tmp_path), container_backend="file")
         directories = {node.container_backend.storage_dir for node in cluster.nodes}
         assert len(directories) == 3
+
+
+class TestCompressionCodecs:
+    def test_registry_names(self):
+        assert set(COMPRESSION_CODECS) == {"none", "zlib", "zstd"}
+
+    def test_resolve_defaults_to_none(self, monkeypatch):
+        monkeypatch.delenv(ENV_CONTAINER_COMPRESSION, raising=False)
+        assert resolve_compression(None) == "none"
+
+    def test_resolve_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_CONTAINER_COMPRESSION, "zlib")
+        assert resolve_compression(None) == "zlib"
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_CONTAINER_COMPRESSION, "zlib")
+        assert resolve_compression("none") == "none"
+
+    def test_auto_picks_an_available_codec(self):
+        assert resolve_compression("auto") == ("zstd" if zstd_available() else "zlib")
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(CompressionError, match="unknown compression codec"):
+            resolve_compression("lz77")
+
+    def test_none_codec_builds_to_no_op(self):
+        assert build_codec("none") is None
+
+    @pytest.mark.skipif(zstd_available(), reason="zstandard module installed")
+    def test_zstd_without_module_raises(self):
+        with pytest.raises(CompressionError, match="zstd"):
+            build_codec("zstd")
+
+    @pytest.mark.parametrize("name", [n for n in AVAILABLE_CODECS if n != "none"])
+    def test_roundtrip_and_shrink(self, name):
+        codec = build_codec(name)
+        blob = codec.compress(COMPRESSIBLE)
+        assert len(blob) < len(COMPRESSIBLE)
+        assert codec.decompress(blob, len(COMPRESSIBLE)) == COMPRESSIBLE
+
+    @pytest.mark.parametrize("name", [n for n in AVAILABLE_CODECS if n != "none"])
+    def test_corrupt_blob_raises_compression_error(self, name):
+        codec = build_codec(name)
+        with pytest.raises(CompressionError):
+            codec.decompress(b"\xde\xad\xbe\xef" * 8, 1024)
+
+
+class TestCompressedSpill:
+    def _compressible_records(self):
+        # Each record is a unique 32-byte span repeated 8 times: unique for
+        # dedupe accounting, yet internally repetitive so real codecs shrink
+        # the sealed data sections they land in.
+        return [
+            record(deterministic_bytes(32, seed=i) * 8) for i in range(6)
+        ]
+
+    @pytest.mark.parametrize("name", AVAILABLE_CODECS)
+    def test_reads_byte_identical(self, tmp_path, name):
+        backend = FileContainerBackend(tmp_path, compression=name)
+        store = ContainerStore(container_capacity=512, backend=backend)
+        chunks = self._compressible_records()
+        ids = store.store_chunks(chunks)
+        store.flush()
+        for chunk, container_id in zip(chunks, ids):
+            assert store.read_chunk(container_id, chunk.fingerprint) == chunk.data
+        batched = store.read_chunks(
+            [(cid, chunk.fingerprint) for chunk, cid in zip(chunks, ids)]
+        )
+        assert batched == [chunk.data for chunk in chunks]
+
+    @pytest.mark.parametrize("name", [n for n in AVAILABLE_CODECS if n != "none"])
+    def test_stored_bytes_shrink(self, tmp_path, name):
+        backend = FileContainerBackend(tmp_path, compression=name)
+        store = ContainerStore(container_capacity=512, backend=backend)
+        store.store_chunks(self._compressible_records())
+        store.flush()
+        assert 0 < backend.spilled_bytes_stored < backend.spilled_bytes
+        on_disk = sum(
+            entry.stat().st_size for entry in backend.storage_dir.iterdir()
+        )
+        assert on_disk == backend.spilled_bytes_stored
+
+    def test_none_codec_counters_match(self, tmp_path):
+        backend = FileContainerBackend(tmp_path, compression="none")
+        store = ContainerStore(container_capacity=64, backend=backend)
+        store.store_chunk(record(deterministic_bytes(40, seed=9)))
+        store.flush()
+        assert backend.spilled_bytes_stored == backend.spilled_bytes == 40
+
+    def test_raw_spill_served_through_mmap(self, tmp_path):
+        backend = FileContainerBackend(tmp_path, compression="none")
+        store = ContainerStore(container_capacity=64, backend=backend)
+        chunk = record(deterministic_bytes(40, seed=10))
+        container_id = store.store_chunk(chunk)
+        store.flush()
+        container = store.get(container_id)
+        assert isinstance(container.payload_bytes(), mmap.mmap)
+        assert store.read_chunk(container_id, chunk.fingerprint) == chunk.data
+
+    def test_decompressed_sections_cached_across_windows(self, tmp_path):
+        backend = FileContainerBackend(tmp_path, compression="zlib")
+        store = ContainerStore(container_capacity=256, backend=backend)
+        chunks = self._compressible_records()
+        ids = store.store_chunks(chunks)
+        store.flush()
+        distinct = sorted(set(ids))
+        # An interleaved read pattern revisits each sealed container many
+        # times; the decompressed-section LRU must keep each container to a
+        # single spill load instead of one per visit.
+        for _ in range(4):
+            for chunk, container_id in zip(chunks, ids):
+                assert store.read_chunk(container_id, chunk.fingerprint) == chunk.data
+        assert backend.spill_loads == len(distinct)
+
+
+class TestCompressedSpillCrashes:
+    def _spilled(self, tmp_path, compression):
+        backend = FileContainerBackend(tmp_path, compression=compression)
+        store = ContainerStore(container_capacity=64, backend=backend)
+        chunk = record(deterministic_bytes(40, seed=5))
+        container_id = store.store_chunk(chunk)
+        store.flush()
+        return backend, store, chunk, container_id
+
+    def test_corrupt_compressed_file_raises_container_not_found(self, tmp_path):
+        backend, store, chunk, container_id = self._spilled(tmp_path, "zlib")
+        backend.spill_path(container_id).write_bytes(b"\xde\xad\xbe\xef" * 4)
+        with pytest.raises(ContainerNotFoundError, match="cannot be decompressed"):
+            store.read_chunk(container_id, chunk.fingerprint)
+
+    def test_truncated_compressed_file_raises_container_not_found(self, tmp_path):
+        backend, store, chunk, container_id = self._spilled(tmp_path, "zlib")
+        path = backend.spill_path(container_id)
+        path.write_bytes(path.read_bytes()[:5])
+        with pytest.raises(ContainerNotFoundError, match="cannot be decompressed"):
+            store.read_chunk(container_id, chunk.fingerprint)
+
+    def test_wrong_decompressed_length_raises_truncated(self, tmp_path):
+        import zlib
+
+        backend, store, chunk, container_id = self._spilled(tmp_path, "zlib")
+        backend.spill_path(container_id).write_bytes(zlib.compress(b"tiny"))
+        with pytest.raises(ContainerNotFoundError, match="truncated"):
+            store.read_chunk(container_id, chunk.fingerprint)
+
+    def test_missing_compressed_file_raises_container_not_found(self, tmp_path):
+        backend, store, chunk, container_id = self._spilled(tmp_path, "zlib")
+        backend.spill_path(container_id).unlink()
+        with pytest.raises(ContainerNotFoundError, match="missing or unreadable"):
+            store.read_chunk(container_id, chunk.fingerprint)
+
+    def test_crash_surfaces_through_node_restore(self, tmp_path):
+        config = NodeConfig(
+            container_capacity=256,
+            container_backend="file",
+            storage_dir=str(tmp_path),
+            container_compression="zlib",
+        )
+        node = DedupeNode(0, config=config)
+        superchunk = superchunk_from_seeds(range(4), length=128)
+        node.backup_superchunk(superchunk)
+        node.flush()
+        for name in os.listdir(node.container_backend.storage_dir):
+            (node.container_backend.storage_dir / name).write_bytes(b"garbage")
+        with pytest.raises(ContainerNotFoundError):
+            node.read_chunk(superchunk.chunks[0].fingerprint)
+
+
+class TestCompressionSelection:
+    def test_node_config_selects_compression(self, tmp_path):
+        config = NodeConfig(
+            container_backend="file",
+            storage_dir=str(tmp_path),
+            container_compression="zlib",
+        )
+        node = DedupeNode(0, config=config)
+        assert node.container_backend.compression == "zlib"
+
+    def test_env_var_selects_compression(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_CONTAINER_COMPRESSION, "zlib")
+        backend = FileContainerBackend(tmp_path)
+        assert backend.compression == "zlib"
+
+    def test_unknown_compression_raises_at_construction(self, tmp_path):
+        with pytest.raises(CompressionError, match="unknown compression codec"):
+            FileContainerBackend(tmp_path, compression="lz77")
+
+    def test_framework_roundtrip_with_compression(self, tmp_path):
+        from repro.core.framework import SigmaDedupe
+
+        framework = SigmaDedupe(
+            num_nodes=2,
+            storage_dir=str(tmp_path),
+            container_compression="zlib",
+            node_config=NodeConfig(container_capacity=512),
+        )
+        assert all(
+            node.container_backend.compression == "zlib"
+            for node in framework.cluster.nodes
+        )
+        payload = COMPRESSIBLE * 64
+        report = framework.backup([("docs/a.bin", payload)])
+        assert framework.restore(report.session_id, "docs/a.bin") == payload
