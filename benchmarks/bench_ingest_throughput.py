@@ -32,7 +32,13 @@ in MB/s over the same synthetic payload:
 * **restore_compressed** -- the same two-generation interleaved session over a
   compressible payload, batched restore on uncompressed (mmap-sliced) vs
   compressed spill files, with the raw/stored spill byte totals recorded as
-  ``spill_bytes`` so the compression win is visible in the JSON.
+  ``spill_bytes`` so the compression win is visible in the JSON;
+* **recovery** -- the durability plane: ``journal-replay`` is the disaster
+  path in MB/s (reopen a replicated spill tree cold: manifest-journal replay,
+  index rebuild, replica re-mirroring), then the same recovered session is
+  restored batched with every node up (``restore-replicated``) and with a
+  data-holding node marked down (``restore-failover``), byte-identical both
+  ways; the failover read counts land in ``recovery_stats``.
 
 Results are printed and written to ``BENCH_ingest.json`` at the repository
 root so successive PRs accumulate comparable data points.  The chunk rows are
@@ -44,7 +50,9 @@ ingest is >= 1.2x the pure end-to-end rate, the batched node path is >= 1.2x
 the seed per-chunk node path, batched spill restore is >= 2x the per-chunk
 spill restore, compressed batched restore is >= 0.9x the uncompressed batched
 restore on the same payload, compressed spill files hold <= 0.8x the raw
-bytes on the compressible workload, and -- on hosts with >= 4 cores, i.e. the
+bytes on the compressible workload, both recovery restore legs are
+byte-identical with the failover leg actually serving replica reads and
+holding >= 0.25x the healthy replicated rate, and -- on hosts with >= 4 cores, i.e. the
 CI runners -- workers=4 parallel ingest is >= 1.5x workers=1 (>= 2 cores gate
 at a reduced 1.1x; a single-core host records the rows and skips the
 assertion, since thread scaling is physically impossible there).
@@ -104,6 +112,12 @@ PARALLEL_REPEATS = 3
 # container per node and the one-slot buffer would hide the whole effect).
 RESTORE_CONTAINER_CAPACITY = 256 * 1024
 RESTORE_REPEATS = 3
+# Recovery rows replicate at factor 2 so the failover leg has replicas to
+# serve from; the failover restore must hold at least this fraction of the
+# healthy replicated rate (replica reads walk the successor chain and skip
+# the primary's index fast path, so parity is not expected).
+RECOVERY_REPLICATION_FACTOR = 2
+RECOVERY_FAILOVER_GATE = 0.25
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingest.json"
 
@@ -283,6 +297,108 @@ def measure_restore(framework: SigmaDedupe, session_id: str, logical: int, mode:
     return best
 
 
+def measure_recovery(
+    storage_dir: str, data: bytes
+) -> Tuple[Dict[str, float], Dict[str, int]]:
+    """The durability plane: replay a replicated spill tree cold, then
+    restore the recovered session with every node up vs with a data-holding
+    node marked down.
+
+    ``journal-replay`` times ``recover_storage`` -- manifest-journal replay,
+    spill verification, index rebuild and replica re-mirroring -- in MB/s of
+    recovered container bytes.  Both restore legs are byte-checked against
+    the original payloads before the timed runs; the failover leg must also
+    actually serve replica reads and hold :data:`RECOVERY_FAILOVER_GATE`
+    times the healthy rate.
+    """
+    file_size = len(data) // NUM_FILES
+    files = [
+        (f"recovery/file-{index}.bin", data[index * file_size:(index + 1) * file_size])
+        for index in range(NUM_FILES)
+    ]
+    logical = sum(len(payload) for _, payload in files)
+
+    def build() -> SigmaDedupe:
+        return SigmaDedupe(
+            num_nodes=NUM_NODES,
+            routing="sigma",
+            chunker=best_chunker(),
+            superchunk_size=SUPERCHUNK_SIZE,
+            node_config=NodeConfig(container_capacity=RESTORE_CONTAINER_CAPACITY),
+            storage_dir=storage_dir,
+            replication_factor=RECOVERY_REPLICATION_FACTOR,
+        )
+
+    origin = build()
+    report = origin.backup(files, session_label="recovery-gen-0")
+    exported = origin.director.export_session(report.session_id)
+    origin.close()
+
+    revived = build()
+    start = time.perf_counter()
+    recoveries = revived.recover_storage()
+    elapsed = time.perf_counter() - start
+    recovered_containers = sum(len(r.containers) for r in recoveries)
+    recovered_bytes = sum(
+        container.used for r in recoveries for container in r.containers
+    )
+    debris = sum(
+        r.records_discarded + r.records_dropped + len(r.orphans_removed)
+        for r in recoveries
+    )
+    assert recovered_containers > 0, "recovery bench replayed no containers"
+    assert debris == 0, (
+        f"cleanly closed spill tree replayed {debris} debris records/files"
+    )
+    session = revived.director.import_session(exported)
+
+    # Byte-identity on both legs before any timing.
+    for path, payload in files:
+        assert revived.restore(session.session_id, path) == payload, (
+            f"recovered restore of {path} is not byte-identical"
+        )
+    victim = next(
+        node
+        for node in revived.cluster.nodes
+        if node.container_store.container_count
+    )
+    revived.cluster.mark_node_down(victim.node_id)
+    for path, payload in files:
+        assert revived.restore(session.session_id, path) == payload, (
+            f"failover restore of {path} is not byte-identical "
+            f"(node {victim.node_id} down)"
+        )
+    revived.cluster.mark_node_up(victim.node_id)
+
+    rows = {
+        "journal-replay": round(_mbps(recovered_bytes, elapsed), 2),
+        "restore-replicated": round(
+            measure_restore(revived, session.session_id, logical, "batched"), 2
+        ),
+    }
+    revived.cluster.mark_node_down(victim.node_id)
+    rows["restore-failover"] = round(
+        measure_restore(revived, session.session_id, logical, "batched"), 2
+    )
+    revived.cluster.mark_node_up(victim.node_id)
+    failover_reads = revived.cluster.describe()["failover_reads"]
+    revived.close()
+
+    assert failover_reads > 0, "failover restore leg served no replica reads"
+    assert rows["restore-failover"] >= rows["restore-replicated"] * RECOVERY_FAILOVER_GATE, (
+        f"failover restore too slow: {rows['restore-failover']} MB/s vs "
+        f"replicated {rows['restore-replicated']} MB/s "
+        f"(< {RECOVERY_FAILOVER_GATE}x)"
+    )
+    stats = {
+        "replication_factor": RECOVERY_REPLICATION_FACTOR,
+        "recovered_containers": recovered_containers,
+        "recovered_bytes": recovered_bytes,
+        "failover_reads": failover_reads,
+    }
+    return rows, stats
+
+
 def run(scale: str) -> Dict:
     total_bytes = DATA_BYTES[scale]
     generator = SyntheticDataGenerator(seed=1307)
@@ -408,6 +524,12 @@ def run(scale: str) -> Dict:
             "ratio": round(spill_bytes_stored / max(spill_bytes_raw, 1), 4),
         }
 
+        # Recovery: cold journal replay of a replicated session, then the
+        # healthy vs failover batched restore (byte-checked inside).
+        results["recovery"], recovery_stats = measure_recovery(
+            str(Path(spill_dir) / "recovery"), data
+        )
+
     # The CI smoke gates: a chunking, ingest or node-plane regression fails
     # the build.  At smoke scale the batched/per-chunk ratio has comfortable
     # headroom (~1.5x measured); the bigger full-scale payload spends
@@ -497,7 +619,7 @@ def run(scale: str) -> Dict:
     except ImportError:
         numpy_version = None
     return {
-        "schema": "bench-ingest-v4",
+        "schema": "bench-ingest-v5",
         "generated_by": "benchmarks/bench_ingest_throughput.py",
         "config": {
             "scale": scale,
@@ -518,6 +640,7 @@ def run(scale: str) -> Dict:
             "parallel_repeats": PARALLEL_REPEATS,
             "restore_container_capacity": RESTORE_CONTAINER_CAPACITY,
             "restore_repeats": RESTORE_REPEATS,
+            "recovery_replication_factor": RECOVERY_REPLICATION_FACTOR,
             "compression_codec": codec,
             "compression_data_bytes": total_bytes // 2,
             "cpu_count": os.cpu_count(),
@@ -526,6 +649,7 @@ def run(scale: str) -> Dict:
         },
         "results_mb_per_s": results,
         "spill_bytes": spill_bytes,
+        "recovery_stats": recovery_stats,
     }
 
 
@@ -553,6 +677,12 @@ def main(argv: "List[str] | None" = None) -> int:
     print(
         f"spill bytes ({spill['codec']}): raw={spill['raw']} "
         f"stored={spill['stored']} ratio={spill['ratio']}"
+    )
+    recovery = document["recovery_stats"]
+    print(
+        f"recovery (factor={recovery['replication_factor']}): "
+        f"{recovery['recovered_containers']} containers replayed, "
+        f"{recovery['failover_reads']} failover reads served"
     )
     if not numpy_available():
         print("(NumPy not importable: accelerated backend skipped)")

@@ -65,6 +65,14 @@ READ_PATH_SCOPES: Dict[str, Tuple[str, ...]] = {
         "DedupeCluster.sample_match_count",
         "DedupeCluster.read_chunk",
         "DedupeCluster.read_chunks",
+        "DedupeCluster._failover_read",
+    ),
+    # Replica reads are failover restore reads: like every restore path they
+    # must stay invisible to dedupe statistics (replicas never dedupe).
+    "cluster/replication.py": (
+        "ReplicaStore.read_chunk",
+        "ReplicaStore.read_chunks",
+        "ReplicationManager.read_chunks_failover",
     ),
     "node/dedupe_node.py": (
         "DedupeNode._resolve_restore_container",
@@ -97,6 +105,13 @@ STREAMING_MODULES: FrozenSet[str] = frozenset(
         # bounded container data section at a time, never a whole stream.
         "storage/compression.py",
         "storage/backends.py",
+        # The durability plane: journal replay, offline recovery, replica
+        # mirroring and fault hooks all operate per sealed container (bounded
+        # by container capacity), never on whole backup streams.
+        "storage/journal.py",
+        "storage/recovery.py",
+        "cluster/replication.py",
+        "faults/plan.py",
     }
 )
 

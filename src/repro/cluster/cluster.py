@@ -9,17 +9,42 @@ counts).
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.cluster.message import MessageCounter, MessageType
+from repro.cluster.replication import FailoverPolicy, ReplicationManager
 from repro.core.superchunk import SuperChunk
-from repro.errors import NodeNotFoundError, ValidationError
-from repro.fingerprint.handprint import Handprint
+from repro.errors import (
+    ContainerNotFoundError,
+    InjectedReadError,
+    NodeNotFoundError,
+    NodeUnavailableError,
+    StorageError,
+    ValidationError,
+)
+from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE, Handprint
 from repro.node.dedupe_node import DedupeNode, NodeConfig, SuperChunkBackupResult
 from repro.routing.base import ClusterView, RoutingDecision, RoutingScheme
 from repro.routing.sigma import SigmaRouting
+from repro.storage.backends import SpillRecovery
 from repro.utils.stats import count_matched_occurrences, mean, population_stddev
+
+RETRYABLE_READ_ERRORS = (ContainerNotFoundError, InjectedReadError)
+"""Primary-read failures worth a bounded retry before failing over: a
+missing/truncated spill file or an injected transient read fault.  Data
+errors (``ChunkNotFoundError``, ``RestoreIntegrityError``) never retry or
+fail over -- a replica would return the same wrong answer."""
+
+
+class ClusterFaultHook(Protocol):
+    """What a fault plan exposes to the cluster's read plane (node-down
+    windows); behind an ``if hook is not None`` guard like every hook site."""
+
+    def node_is_down(self, node_id: int) -> bool:
+        """Consulted once per cluster read operation; ticks the plan's
+        operation clock and reports whether ``node_id`` is dark."""
 
 
 class DedupeCluster(ClusterView):
@@ -38,6 +63,14 @@ class DedupeCluster(ClusterView):
         container backend name each node stores sealed containers with, the
         directory disk-backed backends write under (each node claims its
         own ``node-<id>`` subdirectory), and the spill compression codec.
+    replication_factor:
+        Total copies of every sealed container (1 = no replication, the
+        seed behavior).  With ``N > 1`` each node's seals are mirrored to
+        its ``N-1`` ring successors and restore reads transparently fail
+        over to a replica when the primary is down or raising (see
+        :mod:`repro.cluster.replication`).
+    failover_policy:
+        Bounded-retry/backoff tuning for primary restore reads.
     """
 
     def __init__(
@@ -48,9 +81,13 @@ class DedupeCluster(ClusterView):
         container_backend: Optional[str] = None,
         storage_dir: Optional[str] = None,
         container_compression: Optional[str] = None,
+        replication_factor: int = 1,
+        failover_policy: Optional[FailoverPolicy] = None,
     ):
         if num_nodes < 1:
             raise ValidationError("a cluster needs at least one node")
+        if replication_factor < 1:
+            raise ValidationError("replication_factor must be at least 1")
         overrides = {
             key: value
             for key, value in (
@@ -67,6 +104,17 @@ class DedupeCluster(ClusterView):
         ]
         self.routing_scheme = routing_scheme or SigmaRouting()
         self.messages = MessageCounter()
+        self.failover_policy = failover_policy or FailoverPolicy()
+        self.replication: Optional[ReplicationManager] = None
+        if replication_factor > 1:
+            self.replication = ReplicationManager(
+                self, replication_factor, policy=self.failover_policy
+            )
+        self._fault_hook: Optional[ClusterFaultHook] = None
+
+    def install_fault_hook(self, hook: Optional[ClusterFaultHook]) -> None:
+        """Arm (or with ``None`` disarm) node-down fault windows."""
+        self._fault_hook = hook
 
     # ------------------------------------------------------------------ #
     # ClusterView interface
@@ -128,27 +176,131 @@ class DedupeCluster(ClusterView):
         # The batched chunk-fingerprint query to the target node: one lookup
         # request per chunk fingerprint in the super-chunk.
         self.messages.record(MessageType.AFTER_ROUTING, superchunk.chunk_count)
-        result = self.node(decision.target_node).backup_superchunk(superchunk)
+        target = self.node(decision.target_node)
+        result = target.backup_superchunk(superchunk)
         self.messages.record(MessageType.INTRA_NODE, result.total_chunks)
+        replication = self.replication
+        if replication is not None:
+            replication.sync_node(target)
         return result
 
     def flush(self) -> None:
         """Seal open containers on every node (end of a backup session)."""
         for node in self._nodes:
             node.flush()
+        replication = self.replication
+        if replication is not None:
+            replication.sync()
+
+    # ------------------------------------------------------------------ #
+    # availability & recovery
+    # ------------------------------------------------------------------ #
+
+    def mark_node_down(self, node_id: int) -> None:
+        """Mark one node unavailable; restore reads fail over to replicas."""
+        self.node(node_id).mark_down()
+
+    def mark_node_up(self, node_id: int) -> None:
+        self.node(node_id).mark_up()
+
+    def _node_dark(self, node_id: int) -> bool:
+        """Whether reads should skip the primary entirely (marked down, or a
+        fault plan's node-down window has it dark)."""
+        hook = self._fault_hook
+        if hook is not None and hook.node_is_down(node_id):
+            return True
+        return self.node(node_id).is_down
+
+    def recover_storage(
+        self,
+        handprint_size: int = DEFAULT_HANDPRINT_SIZE,
+        verify_data: bool = True,
+    ) -> List[SpillRecovery]:
+        """Replay every node's manifest journal and rebuild its indexes.
+
+        The whole-cluster disaster path: construct a fresh cluster over the
+        surviving storage directory, call this, and every fully-acknowledged
+        container is back (torn seals and orphaned spill files are garbage-
+        collected).  With replication enabled the recovered seals re-enter
+        the seal log and are re-mirrored immediately, restoring the
+        replication invariant for recovered data.
+        """
+        recoveries = [
+            node.recover_storage(
+                handprint_size=handprint_size, verify_data=verify_data
+            )
+            for node in self._nodes
+        ]
+        replication = self.replication
+        if replication is not None:
+            replication.sync()
+        return recoveries
+
+    def close(self) -> None:
+        """Release every node's backend resources (spill mmaps, temp dirs)."""
+        for node in self._nodes:
+            node.close()
 
     # ------------------------------------------------------------------ #
     # restore path helpers
     # ------------------------------------------------------------------ #
 
     def read_chunk(self, node_id: int, fingerprint: bytes, container_id: Optional[int] = None) -> bytes:
-        return self.node(node_id).read_chunk(fingerprint, container_id=container_id)
+        """Restore-read one chunk, with transparent retry + replica failover."""
+        return self.read_chunks(node_id, [(fingerprint, container_id)])[0]
 
     def read_chunks(
         self, node_id: int, requests: "Sequence[tuple[bytes, Optional[int]]]"
     ) -> List[bytes]:
-        """Bulk restore reads against one node (grouped per container there)."""
-        return self.node(node_id).read_chunks(requests)
+        """Bulk restore reads against one node (grouped per container there).
+
+        The failover-aware read plane: a dark primary (marked down or inside
+        a fault window) is skipped outright; a primary raising a retryable
+        storage error (see :data:`RETRYABLE_READ_ERRORS`) gets
+        ``failover_policy.max_retries`` retries with exponential backoff; and
+        when the primary is out of chances the batch is served from its ring
+        replicas (:meth:`ReplicationManager.read_chunks_failover`).  Without
+        replication the primary's error propagates unchanged after the
+        retries.
+        """
+        node = self.node(node_id)
+        if self._node_dark(node_id):
+            return self._failover_read(node_id, requests, cause=None)
+        delays = self.failover_policy.delays()
+        last_error: Optional[StorageError] = None
+        for _attempt in range(self.failover_policy.max_retries + 1):
+            try:
+                return node.read_chunks(requests)
+            except NodeUnavailableError as exc:
+                # The node went down mid-read: no amount of retrying helps.
+                return self._failover_read(node_id, requests, cause=exc)
+            except RETRYABLE_READ_ERRORS as exc:
+                last_error = exc
+                delay = next(delays, None)
+                if delay is not None and delay > 0:
+                    time.sleep(delay)
+        return self._failover_read(node_id, requests, cause=last_error)
+
+    def _failover_read(
+        self,
+        node_id: int,
+        requests: "Sequence[tuple[bytes, Optional[int]]]",
+        cause: Optional[Exception],
+    ) -> List[bytes]:
+        replication = self.replication
+        if replication is None:
+            if cause is not None:
+                raise cause
+            raise NodeUnavailableError(
+                f"node {node_id} is unavailable and the cluster has no "
+                f"replicas to fail over to (replication_factor=1)"
+            )
+        if cause is None:
+            return replication.read_chunks_failover(node_id, requests)
+        try:
+            return replication.read_chunks_failover(node_id, requests)
+        except NodeUnavailableError as exc:
+            raise exc from cause
 
     # ------------------------------------------------------------------ #
     # cluster-wide statistics
@@ -181,7 +333,7 @@ class DedupeCluster(ClusterView):
     def describe(self) -> Dict[str, float]:
         """Cluster-wide summary used by examples and reports."""
         usages = self.storage_usages()
-        return {
+        summary: Dict[str, float] = {
             "num_nodes": self.num_nodes,
             "routing_scheme": self.routing_scheme.name,
             "logical_bytes": self.logical_bytes,
@@ -193,3 +345,7 @@ class DedupeCluster(ClusterView):
             "after_routing_messages": self.messages.after_routing,
             "intra_node_messages": self.messages.intra_node,
         }
+        replication = self.replication
+        if replication is not None:
+            summary.update(replication.describe())
+        return summary

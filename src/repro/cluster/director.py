@@ -8,12 +8,18 @@ consists of backup session management and file recipe management."
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.analysis.runtime import GuardLock, guarded_lock
 from repro.cluster.recipe import ChunkLocation, FileRecipe
 from repro.errors import RecipeError
+
+SESSION_EXPORT_VERSION = 1
+"""Schema version of :meth:`Director.export_session` payloads."""
+
+_SESSION_ID_PATTERN = re.compile(r"^session-(\d+)$")
 
 
 @dataclass
@@ -132,6 +138,104 @@ class Director:
 
     def files_in_session(self, session_id: str) -> List[str]:
         return list(self.get_session(session_id).file_paths)
+
+    # ------------------------------------------------------------------ #
+    # session export / import
+    # ------------------------------------------------------------------ #
+
+    def export_session(self, session_id: str) -> Dict[str, Any]:
+        """Serialise one session's recipes to a JSON-ready dictionary.
+
+        The payload is self-contained -- session header plus every file
+        recipe with ``[fingerprint-hex, length, node_id, container_id]``
+        chunk locations -- so a fresh director in another process can
+        re-learn the session after a crash (the recovery counterpart of the
+        storage plane's manifest journal).
+        """
+        with self._lock:
+            session = self.get_session(session_id)
+            recipes = list(self._recipes[session_id].values())
+            files = [
+                {
+                    "path": recipe.path,
+                    "chunks": [
+                        [
+                            location.fingerprint.hex(),
+                            location.length,
+                            location.node_id,
+                            location.container_id,
+                        ]
+                        for location in recipe.chunks
+                    ],
+                }
+                for recipe in recipes
+            ]
+            return {
+                "version": SESSION_EXPORT_VERSION,
+                "session": {
+                    "session_id": session.session_id,
+                    "client_id": session.client_id,
+                    "label": session.label,
+                    "closed": session.closed,
+                },
+                "files": files,
+            }
+
+    def import_session(self, payload: Dict[str, Any]) -> BackupSession:
+        """Re-register an exported session (and its recipes) with this director.
+
+        Raises :class:`RecipeError` on schema mismatch or if the session id
+        is already registered.  The session counter is bumped past imported
+        numeric ids so later :meth:`open_session` calls cannot collide.
+        """
+        version = payload.get("version")
+        if version != SESSION_EXPORT_VERSION:
+            raise RecipeError(
+                f"unsupported session export version {version!r} "
+                f"(expected {SESSION_EXPORT_VERSION})"
+            )
+        try:
+            header = payload["session"]
+            session_id = str(header["session_id"])
+            session = BackupSession(
+                session_id=session_id,
+                client_id=str(header["client_id"]),
+                label=str(header.get("label", "")),
+                closed=bool(header.get("closed", False)),
+            )
+            files = payload["files"]
+        except (KeyError, TypeError) as exc:
+            raise RecipeError(f"malformed session export payload: {exc}") from exc
+        recipes: Dict[str, FileRecipe] = {}
+        for entry in files:
+            try:
+                path = str(entry["path"])
+                locations = [
+                    ChunkLocation(
+                        fingerprint=bytes.fromhex(chunk[0]),
+                        length=int(chunk[1]),
+                        node_id=int(chunk[2]),
+                        container_id=None if chunk[3] is None else int(chunk[3]),
+                    )
+                    for chunk in entry["chunks"]
+                ]
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                raise RecipeError(f"malformed file entry in session export: {exc}") from exc
+            recipe = FileRecipe(path=path, session_id=session_id, chunks=locations)
+            recipe.validate()
+            recipes[path] = recipe
+            session.file_paths.append(path)
+        with self._lock:
+            if session_id in self._sessions:
+                raise RecipeError(
+                    f"cannot import session {session_id!r}: already registered"
+                )
+            self._sessions[session_id] = session
+            self._recipes[session_id] = recipes
+            match = _SESSION_ID_PATTERN.match(session_id)
+            if match is not None:
+                self._session_counter = max(self._session_counter, int(match.group(1)))
+            return session
 
     # ------------------------------------------------------------------ #
     # statistics

@@ -1,0 +1,337 @@
+"""Container replication to successor nodes, and the failover read path.
+
+With ``DedupeCluster(replication_factor=N)`` every sealed container is
+mirrored to the ``N-1`` ring successors of its owner (node ``i`` mirrors to
+``i+1 .. i+N-1`` mod cluster size).  Placement is **handprint-stable**:
+routing still assigns super-chunks by handprint resemblance exactly as
+before, and replicas are a pure shadow copy -- they never answer resemblance
+queries, never enter the similarity index, and never affect deduplication or
+load-balance statistics.  What they buy is availability: when a primary
+cannot serve a restore read (marked down, dark in a fault window, or raising
+storage errors), :class:`ReplicationManager.read_chunks_failover` walks the
+successor chain and serves the bytes from the first replica that holds them.
+
+Transparent re-dispatch of work from failed members to survivors follows the
+distributed-middleware failure model of arXiv:0908.2958 (see PAPERS.md);
+the deterministic mirror placement keeps recovery reasoning simple.  On
+file-backed clusters replicas re-spill through a
+:class:`~repro.storage.backends.FileContainerBackend` of their own under the
+node's ``replicas/`` subdirectory, bounding RAM -- but the replica plane is
+*reconstructible* state, not durable state: after a crash,
+``recover_storage`` re-mirrors every recovered primary seal, and installing
+a :class:`ReplicaStore` over a surviving directory first clears whatever
+spill files the previous process left there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.runtime import GuardLock, guarded_lock
+from repro.errors import NodeUnavailableError, ValidationError
+from repro.storage.backends import FileContainerBackend
+from repro.storage.container import Container
+from repro.storage.journal import MANIFEST_NAME
+
+if TYPE_CHECKING:
+    from repro.cluster.cluster import DedupeCluster
+    from repro.node.dedupe_node import DedupeNode
+
+REPLICA_ID_STRIDE = 1 << 40
+"""Spill-id stride separating replica namespaces per origin node: a replica
+of container ``c`` from origin ``o`` spills as id ``o * STRIDE + c`` in the
+successor's replica backend, so one replica directory (and one manifest
+journal) serves every predecessor without id collisions."""
+
+REPLICA_SUBDIR = "replicas"
+"""Subdirectory of a node's storage dir holding its replica spill plane."""
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Bounded-retry-with-backoff policy for primary reads.
+
+    A retryable storage error (missing/truncated/injected-faulty spill read)
+    is retried ``max_retries`` times with exponentially growing sleeps
+    starting at ``backoff_base`` seconds before failing over to replicas.
+    :class:`~repro.errors.NodeUnavailableError` from the primary skips the
+    retries entirely -- a down node does not come back within a backoff.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.005
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_multiplier <= 0:
+            raise ValidationError("backoff must be non-negative and growing")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry attempt, in order."""
+        delay = self.backoff_base
+        for _ in range(self.max_retries):
+            yield delay
+            delay *= self.backoff_multiplier
+
+
+def clone_sealed_container(container: Container, replica_id: int) -> Container:
+    """Deep-copy a sealed container's chunks into a resident replica.
+
+    The clone re-reads the origin's data section once (through its backend if
+    spilled) and slices it back into per-chunk parts, so the replica is
+    independent of the origin's storage: unlinking the origin's spill file
+    cannot corrupt the replica.
+    """
+    entries = container.metadata_section()
+    payload = container.payload_bytes()
+    parts: List[bytes] = [
+        payload[entry.offset:entry.offset + entry.length] for entry in entries
+    ]
+    return Container.from_recovered(
+        container_id=replica_id,
+        capacity=container.capacity,
+        stream_id=container.stream_id,
+        entries=entries,
+        parts=parts,
+    )
+
+
+class ReplicaStore:
+    """The mirrored containers a node holds on behalf of its predecessors.
+
+    Keyed by ``(origin_node_id, container_id)``.  On file-backed clusters the
+    replicas spill through their own journaled backend under the node's
+    ``replicas/`` subdirectory (composite ids, see
+    :data:`REPLICA_ID_STRIDE`), so holding replicas does not unbound the
+    node's RAM; on memory-backed clusters they stay resident like everything
+    else.
+    """
+
+    def __init__(self, node_id: int, backend: Optional[FileContainerBackend] = None):
+        self.node_id = node_id
+        self.backend = backend
+        self._lock: GuardLock = guarded_lock("ReplicaStore._lock")
+        self._replicas: Dict[Tuple[int, int], Container] = {}  # guarded-by: _lock
+        self.replicated_containers = 0  # guarded-by: _lock
+        self.replicated_bytes = 0  # guarded-by: _lock
+
+    def store(self, origin_node_id: int, container: Container) -> None:
+        """Mirror one sealed container from ``origin_node_id``.
+
+        Idempotent per ``(origin, container_id)``: re-mirroring after a
+        recovery overwrites the entry (and its spill file) in place.
+        """
+        replica_id = origin_node_id * REPLICA_ID_STRIDE + container.container_id
+        clone = clone_sealed_container(container, replica_id)
+        if self.backend is not None:
+            self.backend.on_seal(clone)
+        with self._lock:
+            previous = self._replicas.get((origin_node_id, container.container_id))
+            self._replicas[(origin_node_id, container.container_id)] = clone
+            if previous is None:
+                self.replicated_containers += 1
+                self.replicated_bytes += clone.used
+
+    def holds(self, origin_node_id: int, container_id: int) -> bool:
+        with self._lock:
+            return (origin_node_id, container_id) in self._replicas
+
+    def container_count(self) -> int:
+        with self._lock:
+            return len(self._replicas)
+
+    def snapshot_bytes(self) -> int:
+        with self._lock:
+            return self.replicated_bytes
+
+    def read_chunks(
+        self, origin_node_id: int, requests: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[bytes]]:
+        """Serve restore reads from the replicas of one failed origin.
+
+        ``requests`` pairs ``(fingerprint, container_id)``; payloads come
+        back aligned, ``None`` where this store holds no replica of the
+        container or the replica lacks the fingerprint.  Stats-free like
+        every restore path: replica reads touch no dedup counters.
+        """
+        with self._lock:
+            replicas = [
+                self._replicas.get((origin_node_id, container_id))
+                for _fingerprint, container_id in requests
+            ]
+        results: List[Optional[bytes]] = []
+        for (fingerprint, _container_id), replica in zip(requests, replicas):
+            if replica is None:
+                results.append(None)
+            else:
+                results.append(replica.read_chunk(fingerprint))
+        return results
+
+    def read_chunk(
+        self, origin_node_id: int, fingerprint: bytes, container_id: int
+    ) -> Optional[bytes]:
+        return self.read_chunks(origin_node_id, [(fingerprint, container_id)])[0]
+
+    def close(self) -> None:
+        if self.backend is not None:
+            self.backend.close()
+
+
+class ReplicationManager:
+    """Mirrors sealed containers to ring successors and serves failover reads."""
+
+    def __init__(
+        self,
+        cluster: "DedupeCluster",
+        factor: int,
+        policy: Optional[FailoverPolicy] = None,
+    ):
+        num_nodes = len(cluster.nodes)
+        if not 2 <= factor <= num_nodes:
+            raise ValidationError(
+                f"replication_factor must be between 2 and the cluster size "
+                f"({num_nodes}), got {factor}"
+            )
+        self.cluster = cluster
+        self.factor = factor
+        self.policy = policy or FailoverPolicy()
+        self._lock: GuardLock = guarded_lock("ReplicationManager._lock")
+        self.failover_reads = 0  # guarded-by: _lock
+        for node in cluster.nodes:
+            node.container_store.track_seals = True
+            if node.replica_store is None:
+                node.replica_store = ReplicaStore(
+                    node.node_id, backend=self._replica_backend(node)
+                )
+
+    @staticmethod
+    def _replica_backend(node: "DedupeNode") -> Optional[FileContainerBackend]:
+        primary = node.container_backend
+        if not isinstance(primary, FileContainerBackend):
+            return None
+        replica_dir = primary.storage_dir / REPLICA_SUBDIR
+        # The replica plane is a pure shadow: after a crash it is rebuilt by
+        # re-mirroring (``recover_storage`` re-syncs every recovered seal), so
+        # spill files a previous process left behind are debris.  Clear them
+        # when taking over the directory rather than letting them accumulate
+        # across crash/recovery cycles.
+        if replica_dir.is_dir():
+            for stale in replica_dir.glob("container-*.cdata"):
+                stale.unlink()
+            (replica_dir / MANIFEST_NAME).unlink(missing_ok=True)
+        return FileContainerBackend(
+            storage_dir=replica_dir,
+            compression=primary.compression,
+            fsync=primary.fsync,
+        )
+
+    def successors(self, node_id: int) -> List[int]:
+        """The ring successors mirroring ``node_id``'s containers."""
+        num_nodes = len(self.cluster.nodes)
+        return [
+            (node_id + offset) % num_nodes for offset in range(1, self.factor)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # mirroring
+    # ------------------------------------------------------------------ #
+
+    def sync_node(self, node: "DedupeNode") -> int:
+        """Mirror every container sealed on ``node`` since the last sync."""
+        sealed = node.container_store.drain_sealed()
+        for container_id in sealed:
+            container = node.container_store.get(container_id)
+            for successor_id in self.successors(node.node_id):
+                store = self.cluster.node(successor_id).replica_store
+                if store is not None:
+                    store.store(node.node_id, container)
+        return len(sealed)
+
+    def sync(self) -> int:
+        """Mirror pending seals on every node (end-of-session flush)."""
+        return sum(self.sync_node(node) for node in self.cluster.nodes)
+
+    # ------------------------------------------------------------------ #
+    # failover reads
+    # ------------------------------------------------------------------ #
+
+    def read_chunks_failover(
+        self, node_id: int, requests: Sequence[Tuple[bytes, Optional[int]]]
+    ) -> List[bytes]:
+        """Serve a failed primary's restore batch from its replica chain.
+
+        Walks the successors in ring order, asking each surviving replica
+        store for whatever is still unresolved.  Requests must carry a
+        container id (recipes written by the backup client always do;
+        replicas cannot run the primary's index peeks).  Anything still
+        unresolved after the chain raises
+        :class:`~repro.errors.NodeUnavailableError`.
+        """
+        resolved: List[Tuple[bytes, int]] = []
+        for fingerprint, container_id in requests:
+            if container_id is None:
+                raise NodeUnavailableError(
+                    f"node {node_id} is unavailable and chunk "
+                    f"{fingerprint.hex()} has no recipe container id to "
+                    f"locate a replica with"
+                )
+            resolved.append((fingerprint, container_id))
+        results: List[Optional[bytes]] = [None] * len(resolved)
+        pending = list(range(len(resolved)))
+        for successor_id in self.successors(node_id):
+            if not pending:
+                break
+            successor = self.cluster.node(successor_id)
+            if successor.is_down:
+                continue
+            store = successor.replica_store
+            if store is None:
+                continue
+            payloads = store.read_chunks(
+                node_id, [resolved[position] for position in pending]
+            )
+            still_pending: List[int] = []
+            for position, payload in zip(pending, payloads):
+                if payload is None:
+                    still_pending.append(position)
+                else:
+                    results[position] = payload
+            pending = still_pending
+        if pending:
+            fingerprint, container_id = resolved[pending[0]]
+            raise NodeUnavailableError(
+                f"node {node_id} is unavailable and no replica of container "
+                f"{container_id} (chunk {fingerprint.hex()}, "
+                f"{len(pending)} of {len(resolved)} reads unresolved) "
+                f"survives on its successors"
+            )
+        with self._lock:
+            self.failover_reads += len(resolved)
+        return [payload for payload in results if payload is not None]
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> Dict[str, int]:
+        stores = [
+            node.replica_store
+            for node in self.cluster.nodes
+            if node.replica_store is not None
+        ]
+        # Reporting snapshot across foreign stores: each count is taken under
+        # its own store's lock; the totals may straddle an in-flight sync.
+        with self._lock:
+            return {
+                "replication_factor": self.factor,
+                "replicated_containers": sum(
+                    store.container_count() for store in stores
+                ),
+                "replicated_bytes": sum(
+                    store.snapshot_bytes() for store in stores
+                ),
+                "failover_reads": self.failover_reads,
+            }

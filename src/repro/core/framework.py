@@ -8,7 +8,8 @@ framework through one object.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from types import TracebackType
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 from repro.chunking import build_chunker
 from repro.chunking.base import Chunker
@@ -16,7 +17,9 @@ from repro.chunking.fixed import StaticChunker
 from repro.cluster.client import BackupClient, ClientBackupReport
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
+from repro.cluster.replication import FailoverPolicy
 from repro.cluster.restore import RestoreManager
+from repro.storage.backends import SpillRecovery
 from repro.core.partitioner import FilePayload, PartitionerConfig
 from repro.core.superchunk import DEFAULT_SUPERCHUNK_SIZE
 from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE
@@ -85,6 +88,12 @@ class SigmaDedupe:
         ``"zlib"``, ``"zstd"`` or ``"auto"``); ``None`` defers to the
         ``REPRO_CONTAINER_COMPRESSION`` environment variable, falling back
         to uncompressed (mmap-served) spill files.
+    replication_factor:
+        Total copies of every sealed container (1 = no replication); with
+        ``N > 1`` restore reads transparently fail over to ring-successor
+        replicas when a node is down (see :mod:`repro.cluster.replication`).
+    failover_policy:
+        Retry/backoff tuning for the failover read path.
     workers:
         Default number of parallel ingest lanes for every backup client of
         this framework (overridable per backup call).  ``None`` defers to the
@@ -110,6 +119,8 @@ class SigmaDedupe:
         container_compression: Optional[str] = None,
         workers: Optional[int] = None,
         parallel_executor: str = "thread",
+        replication_factor: int = 1,
+        failover_policy: Optional[FailoverPolicy] = None,
     ):
         if isinstance(routing, str):
             try:
@@ -131,6 +142,8 @@ class SigmaDedupe:
             container_backend=container_backend,
             storage_dir=storage_dir,
             container_compression=container_compression,
+            replication_factor=replication_factor,
+            failover_policy=failover_policy,
         )
         self.director = Director()
         self.restore_manager = RestoreManager(self.cluster, self.director)
@@ -213,6 +226,38 @@ class SigmaDedupe:
     def restore_session(self, session_id: str) -> List[Tuple[str, bytes]]:
         """Restore every file of a session as a list of ``(path, data)``."""
         return list(self.restore_manager.restore_session(session_id))
+
+    # ------------------------------------------------------------------ #
+    # recovery & lifecycle
+    # ------------------------------------------------------------------ #
+
+    def recover_storage(self, verify_data: bool = True) -> List[SpillRecovery]:
+        """Replay every node's manifest journal and rebuild its indexes.
+
+        The disaster path after a hard kill: construct a fresh framework
+        pointed at the surviving ``storage_dir`` (same ``num_nodes`` and
+        backend settings), call this, then restore sessions through
+        re-imported director recipes (see ``Director.import_session``).
+        """
+        return self.cluster.recover_storage(
+            handprint_size=self._partitioner_config.handprint_size,
+            verify_data=verify_data,
+        )
+
+    def close(self) -> None:
+        """Release node backend resources (spill mmaps, temp directories)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "SigmaDedupe":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # inspection

@@ -66,6 +66,17 @@ class RestoreIntegrityError(StorageError):
     verification are never counted as restored."""
 
 
+class RecoveryError(StorageError):
+    """Raised when crash recovery itself cannot proceed: replaying a manifest
+    journal with a mismatched codec, recovering into a non-empty store, or
+    asking a backend without a journal to replay one.
+
+    Deliberately *not* raised for torn journal tails, orphaned spill files or
+    truncated data sections -- those are the expected debris of a hard kill
+    and recovery silently discards them (prefix consistency), reporting counts
+    in the recovery record instead."""
+
+
 class RoutingError(ReproError):
     """Raised when a data-routing scheme cannot produce a target node."""
 
@@ -76,6 +87,15 @@ class ClusterError(ReproError):
 
 class NodeNotFoundError(ClusterError):
     """Raised when a node id does not exist in the cluster."""
+
+
+class NodeUnavailableError(ClusterError):
+    """Raised when a node (or every replica holding its data) cannot serve a
+    request: the node is marked down, a fault-injection window has it dark, or
+    failover exhausted the replica chain without resolving the read.
+
+    Distinct from :class:`NodeNotFoundError` (a node id outside the cluster,
+    a caller bug): an unavailable node *exists* and may come back."""
 
 
 class RecipeError(ReproError):
@@ -98,3 +118,24 @@ class AnalysisError(ReproError):
 class LockOwnershipError(ReproError):
     """Raised by the ``REPRO_LOCK_ASSERTS=1`` debug mode when a method that
     requires a lock executes on a thread that does not hold it."""
+
+
+class FaultInjectionError(ReproError):
+    """Base class for errors raised *on purpose* by the deterministic
+    fault-injection harness (:mod:`repro.faults`).  Nothing in the library
+    raises these outside an installed :class:`~repro.faults.FaultPlan`."""
+
+
+class SimulatedCrashError(FaultInjectionError):
+    """Raised by a fault plan to simulate a hard kill at a planned point
+    (kill-at-spill-K, torn journal write).  Test harnesses treat the raising
+    process as dead from that instant: the storage directory is left exactly
+    as a SIGKILL would leave it."""
+
+
+class InjectedReadError(FaultInjectionError, StorageError):
+    """A probabilistic spill-read failure injected by a fault plan.
+
+    Doubly derived from :class:`StorageError` because it models an I/O fault:
+    the cluster failover path treats it exactly like a real unreadable spill
+    file (bounded retry, then replica failover)."""

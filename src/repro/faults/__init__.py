@@ -1,0 +1,25 @@
+"""Deterministic fault injection for crash/recovery and failover testing.
+
+:class:`~repro.faults.plan.FaultPlan` is a seeded plan of storage and
+availability faults -- kill the process at the K-th spill (at a chosen phase
+of the data-first/journal-second write ordering), tear the journal line,
+fail spill reads with a seeded probability, or take nodes dark for windows
+of the cluster read-operation clock.  It implements the
+:class:`~repro.storage.backends.SpillFaultHook` and
+:class:`~repro.cluster.cluster.ClusterFaultHook` protocols; install it with
+:meth:`~repro.faults.plan.FaultPlan.install` on a framework, cluster, node
+or backend.  Uninstrumented runs pay one ``is not None`` check per hook
+site and nothing else.
+"""
+
+from repro.faults.plan import (
+    KILL_PHASES,
+    FaultPlan,
+    NodeDownWindow,
+)
+
+__all__ = [
+    "FaultPlan",
+    "KILL_PHASES",
+    "NodeDownWindow",
+]

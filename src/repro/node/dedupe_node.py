@@ -31,15 +31,20 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.runtime import GuardLock, assert_owned, guarded_lock
 from repro.core.superchunk import SuperChunk
-from repro.errors import ChunkNotFoundError
+from repro.errors import ChunkNotFoundError, NodeUnavailableError, RecoveryError
 from repro.fingerprint.fingerprinter import ChunkRecord
-from repro.fingerprint.handprint import Handprint
+from repro.fingerprint.handprint import DEFAULT_HANDPRINT_SIZE, Handprint
 from repro.node.stats import NodeStats
-from repro.storage.backends import ENV_CONTAINER_BACKEND, build_container_backend
+from repro.storage.backends import (
+    ENV_CONTAINER_BACKEND,
+    FileContainerBackend,
+    SpillRecovery,
+    build_container_backend,
+)
 from repro.storage.chunk_index import DiskChunkIndex
 from repro.storage.container import DEFAULT_CONTAINER_CAPACITY
 from repro.storage.container_store import ContainerStore
@@ -48,6 +53,9 @@ from repro.storage.fingerprint_cache import (
     ChunkFingerprintCache,
 )
 from repro.storage.similarity_index import SimilarityIndex
+
+if TYPE_CHECKING:
+    from repro.cluster.replication import ReplicaStore
 
 
 @dataclass
@@ -150,6 +158,13 @@ class DedupeNode:
         )
         self.disk_index = DiskChunkIndex(enabled=self.config.enable_disk_index)  # guarded-by: _plane_lock
         self.stats = NodeStats()  # guarded-by: _plane_lock
+        # Availability flag consulted by the data-plane entry points; a plain
+        # bool whose reads are atomic attribute loads (mark_down/mark_up flip
+        # it; there is no state to tear).
+        self._down = False
+        # Mirrored containers from predecessor nodes; installed by the
+        # cluster's ReplicationManager when replication_factor > 1.
+        self.replica_store: Optional["ReplicaStore"] = None
         # The data plane is deliberately single-writer per node: concurrent
         # ingest lanes parallelise the chunk+fingerprint front end, while
         # super-chunks entering this node serialise here (the plane itself is
@@ -177,6 +192,29 @@ class DedupeNode:
     def storage_usage(self) -> int:
         """Physical bytes stored on this node (capacity-load-balance input)."""
         return self.container_store.stored_bytes
+
+    # ------------------------------------------------------------------ #
+    # availability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the node is marked unavailable (data plane refuses work)."""
+        return self._down
+
+    def mark_down(self) -> None:
+        """Mark the node unavailable: the data plane (backup and restore
+        reads) raises :class:`~repro.errors.NodeUnavailableError` until
+        :meth:`mark_up`.  The failure model the cluster failover path covers;
+        routing queries are unaffected (see README, Durability & failover)."""
+        self._down = True
+
+    def mark_up(self) -> None:
+        self._down = False
+
+    def _check_available(self) -> None:
+        if self._down:
+            raise NodeUnavailableError(f"node {self.node_id} is marked down")
 
     # ------------------------------------------------------------------ #
     # backup path
@@ -220,6 +258,7 @@ class DedupeNode:
         per node, so statistics, cache state and container layout evolve
         exactly as a serial arrival order would produce them.
         """
+        self._check_available()
         with self._plane_lock:
             if self.config.batch_execution:
                 return self._backup_superchunk_batched(superchunk)
@@ -530,12 +569,16 @@ class DedupeNode:
         A container id known from the file recipe is used directly; otherwise
         the node falls back to read-only peeks of its cache and disk index,
         so restoring never skews ``cache_hit_ratio``, LRU eviction order or
-        the disk index I/O counters.
+        the disk index I/O counters.  These peeks are a primary-only
+        affordance: replica failover reads cannot run them (a replica holds
+        no predecessor indexes), which is why recipes written by the backup
+        client always carry container ids and the peeks only serve
+        direct-node reads that omitted one.
         """
         if container_id is None:
-            container_id = self.fingerprint_cache.peek(fingerprint)  # unguarded-ok: stats-free read-only peek; restore tolerates racing an in-flight backup
+            container_id = self.fingerprint_cache.peek(fingerprint)  # unguarded-ok: stats-free read-only peek; restore tolerates racing an in-flight backup, and failover never reaches here (replica reads require recipe container ids)
         if container_id is None:
-            container_id = self.disk_index.peek(fingerprint)  # unguarded-ok: stats-free peek of an insert-only index
+            container_id = self.disk_index.peek(fingerprint)  # unguarded-ok: stats-free peek of an insert-only index; primary-only, see docstring
         if container_id is None:
             raise ChunkNotFoundError(
                 f"chunk {fingerprint.hex()} is not stored on node {self.node_id}"
@@ -548,6 +591,7 @@ class DedupeNode:
         Read-only with respect to the backup path's statistics (see
         :meth:`_resolve_restore_container`).
         """
+        self._check_available()
         container_id = self._resolve_restore_container(fingerprint, container_id)
         data = self.container_store.read_chunk(container_id, fingerprint)
         if data is None:
@@ -571,6 +615,7 @@ class DedupeNode:
         section loaded) once for the batch.  Statistics stay untouched, as on
         every restore path.
         """
+        self._check_available()
         resolved: List[Tuple[int, bytes]] = [
             (self._resolve_restore_container(fingerprint, container_id), fingerprint)
             for fingerprint, container_id in requests
@@ -585,6 +630,94 @@ class DedupeNode:
                 )
             verified.append(payload)
         return verified
+
+    # ------------------------------------------------------------------ #
+    # crash recovery (the disaster path)
+    # ------------------------------------------------------------------ #
+
+    def recover_storage(
+        self,
+        handprint_size: int = DEFAULT_HANDPRINT_SIZE,
+        verify_data: bool = True,
+    ) -> SpillRecovery:
+        """Reopen this node's spill directory after a hard kill.
+
+        Replays the file backend's manifest journal into the (empty)
+        container store, then rebuilds every in-RAM index from the recovered
+        container metadata (:meth:`rebuild_indexes`).  Only meaningful on a
+        freshly-constructed node whose backend points at the survivor
+        directory; raises :class:`~repro.errors.RecoveryError` for in-memory
+        backends (nothing survives a kill to recover from).
+        """
+        backend = self.container_backend
+        if not isinstance(backend, FileContainerBackend):
+            raise RecoveryError(
+                f"node {self.node_id} uses the {backend.name!r} backend, which "
+                "has no journal to recover from"
+            )
+        with self._plane_lock:
+            recovery = backend.replay_journal(verify_data=verify_data)
+            self.container_store.adopt_recovered(recovery)
+            self._rebuild_indexes_locked(handprint_size)
+        return recovery
+
+    def rebuild_indexes(
+        self, handprint_size: int = DEFAULT_HANDPRINT_SIZE
+    ) -> Dict[str, int]:
+        """Reconstruct chunk index, fingerprint cache and similarity index
+        from the container store's (recovered) metadata sections.
+
+        The indexes are derived state: every fingerprint->container mapping,
+        every similarity entry and the cache's seed population can be rebuilt
+        from the metadata the manifest journal persists.  The similarity
+        index is reseeded with each container's ``handprint_size`` smallest
+        fingerprints -- the same min-k selection handprinting uses, so a
+        repeated super-chunk finds its container again after recovery.  The
+        cache is seeded with the most recently sealed containers up to its
+        capacity.  Statistics are left untouched (historical counters did not
+        survive the crash, and the rebuild does not pretend otherwise).
+        """
+        with self._plane_lock:
+            return self._rebuild_indexes_locked(handprint_size)
+
+    def _rebuild_indexes_locked(self, handprint_size: int) -> Dict[str, int]:  # holds-lock: _plane_lock
+        assert_owned(self._plane_lock, "DedupeNode._rebuild_indexes_locked")
+        disk_index = DiskChunkIndex(enabled=self.config.enable_disk_index)
+        similarity = SimilarityIndex(num_locks=self.config.similarity_index_locks)
+        cache = ChunkFingerprintCache(self.config.cache_capacity_containers)
+        container_ids = sorted(self.container_store.container_ids())
+        cache_seed_ids = set(container_ids[-self.config.cache_capacity_containers:])
+        for container_id in container_ids:
+            container = self.container_store.get(container_id)
+            fingerprints = container.fingerprints()
+            disk_index.insert_batch(
+                (fingerprint, container_id) for fingerprint in fingerprints
+            )
+            representatives = sorted(
+                set(fingerprints), key=lambda fp: int.from_bytes(fp, "big")
+            )[:handprint_size]
+            similarity.insert_many(
+                (fingerprint, container_id) for fingerprint in representatives
+            )
+            if container_id in cache_seed_ids:
+                cache.prefetch_container(container_id, fingerprints)
+        self.disk_index = disk_index
+        self.similarity_index = similarity
+        self.fingerprint_cache = cache
+        return {
+            "containers": len(container_ids),
+            "chunks": self.container_store.stored_chunks,
+            "chunk_index_entries": len(disk_index),
+            "similarity_index_entries": len(similarity),
+            "cached_containers": len(cache_seed_ids),
+        }
+
+    def close(self) -> None:
+        """Release backend resources (spill mmaps, temp dirs, replica spill)."""
+        self.container_backend.close()
+        replica_store = self.replica_store
+        if replica_store is not None:
+            replica_store.close()
 
     # ------------------------------------------------------------------ #
     # reporting

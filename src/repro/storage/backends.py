@@ -20,6 +20,13 @@ The file backend optionally compresses each spilled data section (see
 files, and compressed ones are decompressed once per container -- a cost the
 batched ``read_chunks`` restore path amortises over every chunk in the batch.
 
+The file backend is also **crash consistent**: every seal appends a
+checksummed record to a per-directory ``manifest.jsonl`` journal (see
+:mod:`repro.storage.journal`), written strictly *after* the ``.cdata`` file,
+so :meth:`FileContainerBackend.recover` can reopen a directory after a hard
+kill -- replaying the journal's valid prefix, discarding torn trailing
+records, and deleting orphaned or truncated spill files.
+
 Backends are selected by registered name through
 :func:`build_container_backend`, via ``NodeConfig.container_backend`` /
 ``SigmaDedupe(container_backend=..., storage_dir=...)`` or the
@@ -31,15 +38,32 @@ the whole test suite on the spill-to-disk backend); compression is the
 from __future__ import annotations
 
 import mmap
+import os
 import tempfile
+import zlib
 from abc import ABC, abstractmethod
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, Type
 
-from repro.errors import CompressionError, ContainerNotFoundError, StorageError
+from repro.analysis.runtime import GuardLock, guarded_lock
+from repro.errors import (
+    CompressionError,
+    ContainerNotFoundError,
+    RecoveryError,
+    SimulatedCrashError,
+    StorageError,
+)
 from repro.storage.compression import build_codec, resolve_compression
-from repro.storage.container import Container, PayloadSection
+from repro.storage.container import Container, ContainerMetadataEntry, PayloadSection
+from repro.storage.journal import (
+    JOURNAL_VERSION,
+    MANIFEST_NAME,
+    ManifestJournal,
+    encode_record,
+)
 
 ENV_CONTAINER_BACKEND = "REPRO_CONTAINER_BACKEND"
 """Environment variable naming the default container backend for nodes."""
@@ -50,6 +74,35 @@ DEFAULT_DECOMPRESSED_CACHE_BYTES = 32 * 1024 * 1024
 ``mmap`` pages live in the kernel page cache -- but a compressed section costs
 a real decompression to rebuild, and fragmented restores revisit the same
 container across many read windows."""
+
+
+class SpillFaultHook(Protocol):
+    """What a fault-injection plan exposes to the file backend.
+
+    Every hook site in the backend is behind an ``if hook is not None`` guard,
+    so an uninstrumented backend pays one attribute read and one ``is``
+    comparison per event -- nothing else.  See :mod:`repro.faults`.
+    """
+
+    def on_spill(
+        self, backend: "FileContainerBackend", container: Container, blob: bytes
+    ) -> None:
+        """Called before the spill file write; may write a partial file and
+        raise :class:`~repro.errors.SimulatedCrashError`."""
+
+    def journal_tear(
+        self, backend: "FileContainerBackend", encoded: bytes
+    ) -> Optional[int]:
+        """Called before the journal append with the encoded record.  May
+        raise (kill between data write and journal write), or return a byte
+        count: the backend then appends only that prefix and raises -- a torn
+        journal line, exactly as a kill mid-``write`` leaves one."""
+
+    def on_spill_read(
+        self, backend: "FileContainerBackend", container: Container
+    ) -> None:
+        """Called before a spill data-section load; may raise
+        :class:`~repro.errors.InjectedReadError`."""
 
 
 class ContainerBackend(ABC):
@@ -64,6 +117,17 @@ class ContainerBackend(ABC):
 
     def close(self) -> None:
         """Release backend resources (temporary directories, open files)."""
+
+    def __enter__(self) -> "ContainerBackend":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
 
 
 class InMemoryBackend(ContainerBackend):
@@ -87,6 +151,34 @@ class InMemoryBackend(ContainerBackend):
         pass
 
 
+@dataclass
+class SpillRecovery:
+    """What :meth:`FileContainerBackend.replay_journal` reconstructed.
+
+    ``containers`` are sealed, payload-evicted containers rebuilt from the
+    journal's valid record prefix whose spill files verified intact.
+    ``records_discarded`` counts journal lines dropped as torn or corrupt;
+    ``records_dropped`` counts *valid* records whose data file was missing,
+    truncated, or failed its CRC (possible only for the final acknowledged
+    seals before a kill, or real disk damage); ``orphans_removed`` names the
+    spill files deleted because no surviving record references them.
+    """
+
+    containers: List[Container] = field(default_factory=list)
+    records_discarded: int = 0
+    records_dropped: int = 0
+    orphans_removed: List[str] = field(default_factory=list)
+
+    @property
+    def recovered_bytes(self) -> int:
+        """Raw data-section bytes across all recovered containers."""
+        return sum(container.used for container in self.containers)
+
+    @property
+    def recovered_chunks(self) -> int:
+        return sum(container.chunk_count for container in self.containers)
+
+
 class FileContainerBackend(ContainerBackend):
     """Spill sealed containers' data sections to files and evict them from RAM.
 
@@ -94,8 +186,9 @@ class FileContainerBackend(ContainerBackend):
     ----------
     storage_dir:
         Directory receiving one ``container-<id>.cdata`` file per sealed
-        container.  When omitted, a private temporary directory is created and
-        removed when the backend is garbage-collected or closed.
+        container plus the ``manifest.jsonl`` journal.  When omitted, a
+        private temporary directory is created and removed when the backend
+        is garbage-collected or closed.
     compression:
         Registered codec name (``"none"``, ``"zlib"``, ``"zstd"``, ``"auto"``)
         applied to every spilled data section.  ``None`` defers to the
@@ -106,6 +199,19 @@ class FileContainerBackend(ContainerBackend):
         a container is decompressed once and its section cached, so a
         fragmented restore that revisits the container across many read
         windows pays the codec once, not once per window.
+    fsync:
+        Force every spill file and journal record to stable storage before
+        the seal returns.  Off by default: the write ordering (data file
+        first, journal record second) already survives a process kill -- the
+        page cache outlives the process -- and ``fsync`` per seal is what
+        power-loss durability costs, not what the crash tests need.
+
+    Concurrency contract: loads are serialized by an internal lock, and a
+    returned :data:`PayloadSection` is valid until the *next* load on this
+    backend (loading a different container closes the previous ``mmap`` so
+    page slices cannot pin unlinked spill files).  Every read path in the
+    tree already finishes slicing under a per-node or per-store lock before
+    another load can start.
     """
 
     name = "file"
@@ -115,6 +221,7 @@ class FileContainerBackend(ContainerBackend):
         storage_dir: "str | Path | None" = None,
         compression: Optional[str] = None,
         decompressed_cache_bytes: int = DEFAULT_DECOMPRESSED_CACHE_BYTES,
+        fsync: bool = False,
     ):
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
         if storage_dir is None:
@@ -123,7 +230,12 @@ class FileContainerBackend(ContainerBackend):
         self.storage_dir = Path(storage_dir)
         self.storage_dir.mkdir(parents=True, exist_ok=True)
         self.compression = resolve_compression(compression)
+        self.fsync = fsync
         self._codec = build_codec(self.compression)
+        self.journal = ManifestJournal(self.storage_dir / MANIFEST_NAME)
+        self.last_recovery: Optional[SpillRecovery] = None
+        self._fault_hook: Optional[SpillFaultHook] = None
+        self._closed = False
         self.spilled_containers = 0
         self.spilled_bytes = 0
         """Raw data-section bytes handed to the backend at seal time."""
@@ -134,28 +246,222 @@ class FileContainerBackend(ContainerBackend):
         self.spill_loads = 0
         """Spill files actually read back from disk (one-slot buffer hits do
         not count) -- the metric the batched restore path minimises."""
+        self._io_lock: GuardLock = guarded_lock("FileContainerBackend._io_lock")
         # One-slot read buffer: consecutive chunk reads from the same sealed
         # container (the common restore pattern) reload its file only once
-        # while keeping resident payload bounded to a single container.
-        self._last_loaded: Optional[Tuple[int, PayloadSection]] = None
+        # while keeping resident payload bounded to a single container.  The
+        # displaced entry's mmap is closed eagerly (see the class docstring's
+        # concurrency contract), so page slices never pin unlinked files.
+        self._last_loaded: Optional[Tuple[int, PayloadSection]] = None  # guarded-by: _io_lock
         # Decompressed-section LRU (compressed spills only): byte-bounded so
         # resident decompressed payload never exceeds the configured budget.
-        self._decompressed: "OrderedDict[int, bytes]" = OrderedDict()
-        self._decompressed_bytes = 0
+        self._decompressed: "OrderedDict[int, bytes]" = OrderedDict()  # guarded-by: _io_lock
+        self._decompressed_bytes = 0  # guarded-by: _io_lock
         self._decompressed_capacity = decompressed_cache_bytes
+
+    def install_fault_hook(self, hook: Optional[SpillFaultHook]) -> None:
+        """Arm (or with ``None`` disarm) deterministic fault injection."""
+        self._fault_hook = hook
 
     def spill_path(self, container_id: int) -> Path:
         """The spill file holding ``container_id``'s data section."""
         return self.storage_dir / f"container-{container_id:08d}.cdata"
 
+    # ------------------------------------------------------------------ #
+    # seal path (data first, journal second)
+    # ------------------------------------------------------------------ #
+
     def on_seal(self, container: Container) -> None:
+        if self._closed:
+            raise StorageError("file backend is closed")
         section = container.payload_bytes()
-        blob = section if self._codec is None else self._codec.compress(section)
-        self.spill_path(container.container_id).write_bytes(blob)
+        raw = section if isinstance(section, bytes) else section[:]
+        blob = raw if self._codec is None else self._codec.compress(raw)
+        hook = self._fault_hook
+        if hook is not None:
+            # May write a partial spill file and raise SimulatedCrashError.
+            hook.on_spill(self, container, blob)
+        self._write_spill_file(self.spill_path(container.container_id), blob)
+        self._journal_seal(container, blob)
         self.spilled_containers += 1
-        self.spilled_bytes += len(section)
+        self.spilled_bytes += len(raw)
         self.spilled_bytes_stored += len(blob)
         container.evict_payload(self._load)
+
+    def _write_spill_file(self, path: Path, blob: bytes) -> None:
+        with open(path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def _journal_seal(self, container: Container, blob: bytes) -> None:
+        """Append the seal's manifest record (after its data file is down)."""
+        record: Dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "container_id": container.container_id,
+            "stream_id": container.stream_id,
+            "capacity": container.capacity,
+            "used": container.used,
+            "codec": self.compression,
+            "stored_length": len(blob),
+            "stored_crc": zlib.crc32(blob),
+            "chunks": [
+                [entry.fingerprint.hex(), entry.offset, entry.length]
+                for entry in container.metadata_section()
+            ],
+        }
+        hook = self._fault_hook
+        if hook is None:
+            self.journal.append(record, fsync=self.fsync)
+            return
+        encoded = encode_record(record)
+        torn = hook.journal_tear(self, encoded)
+        if torn is not None:
+            self.journal.append_raw(encoded[:torn], fsync=self.fsync)
+            raise SimulatedCrashError(
+                f"injected torn journal write for container "
+                f"{container.container_id} ({torn}/{len(encoded)} bytes)"
+            )
+        self.journal.append_raw(encoded, fsync=self.fsync)
+
+    # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def recover(
+        cls,
+        storage_dir: "str | Path",
+        compression: Optional[str] = None,
+        decompressed_cache_bytes: int = DEFAULT_DECOMPRESSED_CACHE_BYTES,
+        verify_data: bool = True,
+    ) -> "FileContainerBackend":
+        """Reopen a spill directory after a hard kill.
+
+        With ``compression=None`` the codec is sniffed from the journal's
+        first record (falling back to the usual environment/default
+        resolution for journals that are empty or gone).  The replayed
+        :class:`SpillRecovery` is available as ``backend.last_recovery``.
+        """
+        if compression is None:
+            first = ManifestJournal(Path(storage_dir) / MANIFEST_NAME).first_record()
+            if first is not None and isinstance(first.get("codec"), str):
+                compression = str(first["codec"])
+        backend = cls(
+            storage_dir=storage_dir,
+            compression=compression,
+            decompressed_cache_bytes=decompressed_cache_bytes,
+        )
+        backend.replay_journal(verify_data=verify_data)
+        return backend
+
+    def replay_journal(self, verify_data: bool = True) -> SpillRecovery:
+        """Replay the manifest journal and garbage-collect the directory.
+
+        Accepts the journal's longest valid record prefix (later duplicates
+        of a container id win -- replica re-mirroring overwrites in place),
+        verifies each referenced spill file (existence, exact stored length,
+        and -- with ``verify_data`` -- the recorded CRC), deletes every
+        ``.cdata`` file no surviving record references, truncates the journal
+        back to its valid prefix, and resets the spill counters to the
+        recovered reality.  Returns (and stores as ``last_recovery``) the
+        :class:`SpillRecovery`.
+        """
+        if self._closed:
+            raise RecoveryError("cannot replay the journal of a closed backend")
+        if self.spilled_containers:
+            raise RecoveryError(
+                "replay_journal must run before any container seals through "
+                "this backend instance"
+            )
+        replay = self.journal.replay()
+        recovery = SpillRecovery(records_discarded=replay.discarded_lines)
+        by_id: Dict[int, Dict[str, Any]] = {}
+        for record in replay.records:
+            codec = str(record["codec"])
+            if codec != self.compression:
+                raise RecoveryError(
+                    f"journal record for container {record['container_id']} "
+                    f"was spilled with codec {codec!r} but this backend is "
+                    f"configured for {self.compression!r}"
+                )
+            by_id[int(record["container_id"])] = record
+        stored_total = 0
+        for container_id in sorted(by_id):
+            record = by_id[container_id]
+            stored_length = int(record["stored_length"])
+            path = self.spill_path(container_id)
+            if not self._spill_file_intact(path, stored_length,
+                                           int(record["stored_crc"]), verify_data):
+                recovery.records_dropped += 1
+                path.unlink(missing_ok=True)
+                continue
+            entries = [
+                ContainerMetadataEntry(
+                    fingerprint=bytes.fromhex(str(fingerprint)),
+                    offset=int(offset),
+                    length=int(length),
+                )
+                for fingerprint, offset, length in record["chunks"]
+            ]
+            recovery.containers.append(
+                Container.from_recovered(
+                    container_id=container_id,
+                    capacity=int(record["capacity"]),
+                    stream_id=int(record["stream_id"]),
+                    entries=entries,
+                    loader=self._load,
+                )
+            )
+            stored_total += stored_length
+        recovered_ids = {container.container_id for container in recovery.containers}
+        for path in sorted(self.storage_dir.glob("container-*.cdata")):
+            file_id = self._spill_file_id(path)
+            if file_id is None or file_id not in recovered_ids:
+                recovery.orphans_removed.append(path.name)
+                path.unlink(missing_ok=True)
+        if recovery.records_dropped:
+            # Dropped records reference data files that no longer exist:
+            # truncation would leave their lines to be re-dropped on every
+            # later replay, so rewrite the journal to the surviving set.
+            self.journal.rewrite(
+                [by_id[container_id] for container_id in sorted(recovered_ids)],
+                fsync=self.fsync,
+            )
+        else:
+            self.journal.truncate(replay.valid_bytes)
+        self.spilled_containers = len(recovery.containers)
+        self.spilled_bytes = recovery.recovered_bytes
+        self.spilled_bytes_stored = stored_total
+        self.last_recovery = recovery
+        return recovery
+
+    @staticmethod
+    def _spill_file_intact(
+        path: Path, stored_length: int, stored_crc: int, verify_data: bool
+    ) -> bool:
+        try:
+            if path.stat().st_size != stored_length:
+                return False
+            if verify_data:
+                return zlib.crc32(path.read_bytes()) == stored_crc
+            return True
+        except OSError:
+            return False
+
+    @staticmethod
+    def _spill_file_id(path: Path) -> Optional[int]:
+        name = path.name
+        stem = name[len("container-"):-len(".cdata")]
+        try:
+            return int(stem)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
 
     def _map_spill_file(self, container: Container) -> PayloadSection:
         """``mmap`` the spill file (``bytes`` only for the empty-file case)."""
@@ -175,6 +481,16 @@ class FileContainerBackend(ContainerBackend):
             ) from exc
 
     def _load(self, container: Container) -> PayloadSection:
+        if self._closed:
+            raise StorageError("file backend is closed")
+        hook = self._fault_hook
+        if hook is not None:
+            # May raise InjectedReadError (probabilistic read fault).
+            hook.on_spill_read(self, container)
+        with self._io_lock:
+            return self._load_locked(container)
+
+    def _load_locked(self, container: Container) -> PayloadSection:  # holds-lock: _io_lock
         cached = self._last_loaded
         if cached is not None and cached[0] == container.container_id:
             return cached[1]
@@ -184,7 +500,7 @@ class FileContainerBackend(ContainerBackend):
                 # Decompressed-LRU hit: the codec already ran for this
                 # container; neither a spill load nor a decompression happens.
                 self._decompressed.move_to_end(container.container_id)
-                self._last_loaded = (container.container_id, remembered)
+                self._replace_loaded(container.container_id, remembered)
                 return remembered
         stored = self._map_spill_file(container)
         payload: PayloadSection
@@ -206,17 +522,32 @@ class FileContainerBackend(ContainerBackend):
                     stored.close()
             self._remember_decompressed(container.container_id, section)
             payload = section
-        if len(payload) != container.used:
+        found = len(payload)
+        if found != container.used:
+            if isinstance(payload, mmap.mmap):
+                payload.close()
             raise ContainerNotFoundError(
                 f"spill file for container {container.container_id} is truncated: "
-                f"expected {container.used} bytes, found {len(payload)} "
+                f"expected {container.used} bytes, found {found} "
                 f"({self.spill_path(container.container_id)})"
             )
         self.spill_loads += 1
-        self._last_loaded = (container.container_id, payload)
+        self._replace_loaded(container.container_id, payload)
         return payload
 
-    def _remember_decompressed(self, container_id: int, section: bytes) -> None:
+    def _replace_loaded(self, container_id: int, payload: PayloadSection) -> None:  # holds-lock: _io_lock
+        """Install the new one-slot buffer entry, closing the displaced mmap
+        so its pages stop pinning a (possibly unlinked) spill file."""
+        previous = self._last_loaded
+        self._last_loaded = (container_id, payload)
+        if (
+            previous is not None
+            and previous[1] is not payload
+            and isinstance(previous[1], mmap.mmap)
+        ):
+            previous[1].close()
+
+    def _remember_decompressed(self, container_id: int, section: bytes) -> None:  # holds-lock: _io_lock
         """LRU-cache a decompressed data section within the byte budget."""
         if len(section) > self._decompressed_capacity:
             return
@@ -229,16 +560,30 @@ class FileContainerBackend(ContainerBackend):
             _, evicted = self._decompressed.popitem(last=False)
             self._decompressed_bytes -= len(evicted)
 
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
     def close(self) -> None:
-        cached = self._last_loaded
-        self._last_loaded = None
-        self._decompressed.clear()
-        self._decompressed_bytes = 0
-        if cached is not None and isinstance(cached[1], mmap.mmap):
-            cached[1].close()
+        """Release the one-slot ``mmap``, the decompressed LRU and any private
+        temporary directory.  Idempotent; loads after close raise
+        :class:`~repro.errors.StorageError`."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._io_lock:
+            cached = self._last_loaded
+            self._last_loaded = None
+            self._decompressed.clear()
+            self._decompressed_bytes = 0
+            if cached is not None and isinstance(cached[1], mmap.mmap):
+                cached[1].close()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
+
+    def __enter__(self) -> "FileContainerBackend":
+        return self
 
 
 CONTAINER_BACKENDS: Dict[str, Callable[..., ContainerBackend]] = {

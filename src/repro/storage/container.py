@@ -79,6 +79,50 @@ class Container:
     _used: int = field(default=0, repr=False)
     _loader: Optional[Callable[["Container"], PayloadSection]] = field(default=None, repr=False)
 
+    @classmethod
+    def from_recovered(
+        cls,
+        container_id: int,
+        capacity: int,
+        stream_id: int,
+        entries: Sequence[ContainerMetadataEntry],
+        loader: Optional[Callable[["Container"], PayloadSection]] = None,
+        parts: Optional[List[bytes]] = None,
+    ) -> "Container":
+        """Rebuild a sealed container from its metadata section.
+
+        The disaster path (journal replay) passes ``loader`` and gets an
+        evicted container whose payload reloads through the backend; the
+        replication path passes ``parts`` (per-chunk payload slices aligned
+        with ``entries``) and gets a resident clone.  Exactly one of the two
+        must be given.  ``used`` is recomputed from the entry lengths, which
+        equals the contiguous-layout total by construction.
+        """
+        if (loader is None) == (parts is None):
+            raise StorageError(
+                "from_recovered needs exactly one of loader= or parts="
+            )
+        if parts is not None and len(parts) != len(entries):
+            raise StorageError(
+                f"recovered container {container_id}: {len(entries)} metadata "
+                f"entries but {len(parts)} payload parts"
+            )
+        container = cls(
+            container_id=container_id,
+            capacity=capacity,
+            stream_id=stream_id,
+            sealed=True,
+        )
+        container._metadata = list(entries)
+        container._index_of = {
+            entry.fingerprint: position
+            for position, entry in enumerate(container._metadata)
+        }
+        container._used = sum(entry.length for entry in container._metadata)
+        container._parts = parts
+        container._loader = loader
+        return container
+
     @property
     def used(self) -> int:
         """Bytes currently used in the data section (tracked O(1), valid even

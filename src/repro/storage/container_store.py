@@ -13,10 +13,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.runtime import GuardLock, assert_owned, guarded_lock
-from repro.errors import ContainerNotFoundError, ValidationError
+from repro.errors import ContainerNotFoundError, RecoveryError, ValidationError
 from repro.fingerprint.fingerprinter import ChunkRecord
-from repro.storage.backends import ContainerBackend, InMemoryBackend
+from repro.storage.backends import ContainerBackend, InMemoryBackend, SpillRecovery
 from repro.storage.container import Container, DEFAULT_CONTAINER_CAPACITY
+from repro.utils.stats import SnapshotCounter
 
 
 class ContainerStore:
@@ -52,9 +53,16 @@ class ContainerStore:
         self.container_writes = 0  # guarded-by: _lock
         # Running totals so storage_usage probes (consulted by sigma routing
         # for every candidate on every super-chunk) stay O(1) instead of
-        # O(#containers).
-        self._stored_bytes = 0  # guarded-by: _lock
-        self._stored_chunks = 0  # guarded-by: _lock
+        # O(#containers).  SnapshotCounters: mutated only under _lock, read
+        # lock-free as tear-free snapshots (atomic attribute rebinding) --
+        # the counter objects themselves are never rebound.
+        self._stored_bytes = SnapshotCounter()
+        self._stored_chunks = SnapshotCounter()
+        # Seal observation log for container replication: when armed, every
+        # seal appends its container id, and the replication manager drains
+        # the log to mirror those containers to successor nodes.
+        self.track_seals = False
+        self._seal_log: List[int] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # allocation
@@ -75,6 +83,8 @@ class ContainerStore:
         container.seal()
         self.container_writes += 1
         self.backend.on_seal(container)
+        if self.track_seals:
+            self._seal_log.append(container.container_id)
 
     def _store_oversize(self, chunk: ChunkRecord, stream_id: int) -> int:  # holds-lock: _lock
         """Store a chunk larger than the configured capacity (lock held).
@@ -84,8 +94,8 @@ class ContainerStore:
         """
         container = self._allocate(stream_id, capacity=chunk.length)
         container.append(chunk)
-        self._stored_bytes += chunk.length
-        self._stored_chunks += 1
+        self._stored_bytes.add(chunk.length)
+        self._stored_chunks.add(1)
         self._seal(container)
         return container.container_id
 
@@ -114,8 +124,8 @@ class ContainerStore:
                 container = self._allocate(stream_id)
                 self._open_by_stream[stream_id] = container
             container.append(chunk)
-            self._stored_bytes += chunk.length
-            self._stored_chunks += 1
+            self._stored_bytes.add(chunk.length)
+            self._stored_chunks.add(1)
             return container.container_id
 
     def store_chunks(self, chunks: Sequence[ChunkRecord], stream_id: int = 0) -> List[int]:
@@ -165,8 +175,8 @@ class ContainerStore:
                 stored_chunks += 1
                 append_id(container.container_id)
             flush_run()
-            self._stored_bytes += stored_bytes
-            self._stored_chunks += stored_chunks
+            self._stored_bytes.add(stored_bytes)
+            self._stored_chunks.add(stored_chunks)
         return container_ids
 
     def flush(self) -> None:
@@ -176,6 +186,46 @@ class ContainerStore:
                 if not container.sealed and container.chunk_count > 0:
                     self._seal(container)
             self._open_by_stream.clear()
+
+    def drain_sealed(self) -> List[int]:
+        """Return and clear the ids sealed since the last drain (replication)."""
+        with self._lock:
+            sealed = self._seal_log
+            self._seal_log = []
+            return sealed
+
+    # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+
+    def adopt_recovered(self, recovery: SpillRecovery) -> None:
+        """Populate an empty store from a backend's journal replay.
+
+        The disaster path: the recovered containers (sealed, payload-evicted)
+        become the store's whole population, ``_next_id`` resumes past the
+        highest recovered id, and the storage counters are rebuilt from the
+        recovered metadata.  ``container_writes`` counts each recovered
+        container's original seal; ``container_reads`` restarts at zero
+        (historical read accounting did not survive the crash, and recovery
+        does not pretend it did).  With ``track_seals`` armed the recovered
+        ids also enter the seal log, so a replication manager re-mirrors them
+        on its next sync.
+        """
+        with self._lock:
+            if self._containers or self._open_by_stream:
+                raise RecoveryError(
+                    "adopt_recovered requires an empty store "
+                    f"({len(self._containers)} containers present)"
+                )
+            for container in recovery.containers:
+                self._containers[container.container_id] = container
+                if self.track_seals:
+                    self._seal_log.append(container.container_id)
+            if self._containers:
+                self._next_id = max(self._containers) + 1
+            self.container_writes += len(recovery.containers)
+            self._stored_bytes.add(recovery.recovered_bytes)
+            self._stored_chunks.add(recovery.recovered_chunks)
 
     # ------------------------------------------------------------------ #
     # reads
@@ -257,18 +307,16 @@ class ContainerStore:
     def stored_bytes(self) -> int:
         """Total bytes in all data sections (the node's physical capacity usage).
 
-        Maintained as a running counter, so the per-candidate ``storage_usage``
-        probes of sigma routing cost O(1) regardless of how many containers
-        have accumulated.  Deliberately lock-free: a torn read costs one
-        routing decision at most, and the probe sits on the per-super-chunk
-        hot path of every candidate node.
+        Maintained as a :class:`~repro.utils.stats.SnapshotCounter`, so the
+        per-candidate ``storage_usage`` probes of sigma routing cost O(1) and
+        read lock-free -- but as tear-free snapshots (one atomic attribute
+        read), not the waivered racy bare-``int`` read this used to be.
         """
-        return self._stored_bytes  # unguarded-ok: racy-by-design O(1) routing probe
+        return self._stored_bytes.value
 
     @property
     def stored_chunks(self) -> int:
-        with self._lock:
-            return self._stored_chunks
+        return self._stored_chunks.value
 
     @property
     def resident_payload_bytes(self) -> int:

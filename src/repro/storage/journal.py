@@ -1,0 +1,219 @@
+"""Append-only, checksummed manifest journal for the spill plane.
+
+Crash consistency for :class:`~repro.storage.backends.FileContainerBackend`
+rests on one file per node directory -- ``manifest.jsonl`` -- and one rule:
+**data first, journal second**.  A sealed container's ``.cdata`` file is
+written before its manifest record is appended, so at any kill point the
+journal describes only containers whose data made it to disk; anything the
+journal does not mention is discardable debris.  Replay therefore never has
+to guess: it accepts the longest valid record prefix and recovery deletes
+every spill file the prefix does not reference.
+
+Each record is one JSON line carrying the container's identity, geometry,
+codec, the spilled blob's length and CRC, and the full metadata section
+(fingerprint, offset, length per chunk).  A ``crc`` field covers the
+canonical encoding of the rest of the record, so a torn or bit-flipped line
+is detected rather than replayed.  Records are append-only; recovery
+truncates the file back to the valid prefix so subsequent appends start
+clean.
+
+The journaled-state-transition approach follows reconfiguration-capable
+middleware practice (see PAPERS.md): every durable state change is an
+idempotent, replayable record, and recovery is replay plus garbage
+collection -- never in-place repair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ValidationError
+
+MANIFEST_NAME = "manifest.jsonl"
+"""File name of the per-directory spill manifest journal."""
+
+JOURNAL_VERSION = 1
+"""Record format version stamped into every manifest record."""
+
+_RECORD_REQUIRED_FIELDS = (
+    "v",
+    "container_id",
+    "stream_id",
+    "capacity",
+    "used",
+    "codec",
+    "stored_length",
+    "stored_crc",
+    "chunks",
+)
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """Encode one manifest record as a checksummed JSON line.
+
+    The ``crc`` field is computed over the canonical (sorted-keys, minimal
+    separators) encoding of every *other* field, then embedded; decoding
+    recomputes and compares.  Any prior ``crc`` in ``record`` is ignored.
+    """
+    body = {key: value for key, value in record.items() if key != "crc"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    body["crc"] = zlib.crc32(canonical.encode("ascii"))
+    return (json.dumps(body, sort_keys=True, separators=(",", ":")) + "\n").encode("ascii")
+
+
+def decode_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """Decode one journal line; ``None`` if torn, corrupt, or checksum-bad.
+
+    Returning ``None`` (never raising) is deliberate: a bad line is the
+    expected shape of a crash tail, and replay treats it as end-of-journal.
+    """
+    try:
+        parsed = json.loads(line.decode("ascii"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(parsed, dict):
+        return None
+    crc = parsed.pop("crc", None)
+    if not isinstance(crc, int):
+        return None
+    canonical = json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(canonical.encode("ascii")) != crc:
+        return None
+    for name in _RECORD_REQUIRED_FIELDS:
+        if name not in parsed:
+            return None
+    return parsed
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`ManifestJournal.replay` found.
+
+    ``records`` is the longest valid prefix; ``valid_bytes`` is where that
+    prefix ends in the file (the truncation point); ``discarded_lines`` counts
+    line-ish segments after the prefix -- torn tails, corrupt records, and
+    everything behind them (prefix consistency: a bad record invalidates all
+    records after it, because append order is the only ordering guarantee).
+    """
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    valid_bytes: int = 0
+    discarded_lines: int = 0
+
+
+class ManifestJournal:
+    """The append-only checksummed journal over one ``manifest.jsonl`` file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.records_appended = 0
+        """Complete records appended through this instance (partial
+        fault-injected writes via :meth:`append_raw` do not count)."""
+
+    def append(self, record: Dict[str, Any], fsync: bool = False) -> None:
+        """Append one record (single ``write`` of one encoded line).
+
+        With ``fsync`` the line is forced to stable storage before returning,
+        which is what power-loss durability requires; without it the write
+        still survives a process kill (page cache), which is the failure model
+        the test harness exercises.
+        """
+        data = encode_record(record)
+        self._write(data, fsync)
+        self.records_appended += 1
+
+    def append_raw(self, data: bytes, fsync: bool = False) -> None:
+        """Append raw bytes -- the fault-injection hook for torn writes.
+
+        Exists so a :class:`~repro.faults.FaultPlan` can leave exactly the
+        partial line a kill mid-``write`` would leave.
+        """
+        if not data:
+            return
+        self._write(data, fsync)
+
+    def _write(self, data: bytes, fsync: bool) -> None:
+        with open(self.path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+
+    def first_record(self) -> Optional[Dict[str, Any]]:
+        """Decode just the first journal line (codec sniffing for
+        :meth:`FileContainerBackend.recover`), or ``None`` if absent/bad."""
+        try:
+            with open(self.path, "rb") as handle:
+                line = handle.readline()
+        except OSError:
+            return None
+        if not line.endswith(b"\n"):
+            return None
+        return decode_line(line[:-1])
+
+    def replay(self) -> JournalReplay:
+        """Read back the longest valid record prefix.
+
+        Stops at the first line that is torn (no trailing newline), fails its
+        checksum, or is not a well-formed record; everything from that point
+        on is counted in ``discarded_lines`` and excluded from
+        ``valid_bytes``.  Never raises for journal damage -- damage is data.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return JournalReplay()
+        replay = JournalReplay()
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                # Torn tail: the final write never completed its line.
+                replay.discarded_lines += 1
+                return replay
+            record = decode_line(raw[offset:newline])
+            if record is None:
+                replay.discarded_lines += max(1, raw.count(b"\n", offset))
+                return replay
+            replay.records.append(record)
+            offset = newline + 1
+            replay.valid_bytes = offset
+        return replay
+
+    def rewrite(self, records: List[Dict[str, Any]], fsync: bool = False) -> None:
+        """Atomically replace the journal with exactly ``records``.
+
+        Recovery uses this when replay *dropped* valid records (data file
+        missing or damaged): truncation alone would leave their lines behind,
+        and every later replay would re-drop them against files recovery
+        already unlinked.  The write-temp-then-rename keeps the journal
+        replayable at every instant -- a kill mid-rewrite leaves either the
+        old or the new journal, and both describe the same surviving spills.
+        """
+        temp_path = self.path.with_name(self.path.name + ".rewrite")
+        with open(temp_path, "wb") as handle:
+            for record in records:
+                handle.write(encode_record(record))
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+
+    def truncate(self, valid_bytes: int) -> None:
+        """Cut the journal back to its valid prefix so future appends are
+        clean (recovery calls this after replay)."""
+        if valid_bytes < 0:
+            raise ValidationError("valid_bytes must be non-negative")
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size <= valid_bytes:
+            return
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid_bytes)

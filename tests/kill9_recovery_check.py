@@ -1,0 +1,160 @@
+"""SIGKILL-during-spill integration check (run directly, not via pytest).
+
+A child process backs up one seeded, fully-acknowledged session, atomically
+exports its director recipes, then keeps spilling fresh sessions forever.
+The parent waits until the child has demonstrably kept spilling past the
+acknowledged session, SIGKILLs it mid-flight, recovers the storage tree
+in-process (journal replay + index rebuild + recipe import), and asserts
+every file of the acknowledged session restores byte-identically -- with and
+without a node marked down (the replication leg).
+
+Usage::
+
+    PYTHONPATH=src python tests/kill9_recovery_check.py
+
+Exit code 0 on success.  The CI ``crash-recovery`` job runs this after the
+fault-injection suite: in-process SimulatedCrashError faults cover the crash
+points deterministically, and this script proves a real ``SIGKILL`` -- no
+atexit handlers, no flushes, no interpreter shutdown -- lands in a state the
+same recovery path repairs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+NUM_NODES = 3
+CONTAINER_CAPACITY = 16 * 1024
+REPLICATION_FACTOR = 2
+SUPERCHUNK_SIZE = 64 * 1024
+SEED = 20120508  # the paper's conference year+month, for flavour
+SESSION_FILE = "session.json"
+EXTRA_SPILLS = 4  # kill only after this many post-ack spill files appear
+DEADLINE_SECONDS = 60.0
+
+
+def build_framework(storage_dir: str):
+    from repro.core.framework import SigmaDedupe
+    from repro.node.dedupe_node import NodeConfig
+
+    return SigmaDedupe(
+        num_nodes=NUM_NODES,
+        storage_dir=storage_dir,
+        node_config=NodeConfig(container_capacity=CONTAINER_CAPACITY),
+        superchunk_size=SUPERCHUNK_SIZE,
+        replication_factor=REPLICATION_FACTOR,
+    )
+
+
+def seeded_files():
+    rng = random.Random(SEED)
+    return [(f"acked/file-{i}", rng.randbytes(48 * 1024)) for i in range(4)]
+
+
+def count_spills(storage_dir: Path) -> int:
+    return sum(1 for _ in storage_dir.glob("**/container-*.cdata"))
+
+
+def child_main(storage_dir: str) -> None:
+    framework = build_framework(storage_dir)
+    report = framework.backup(seeded_files(), session_label="acknowledged")
+    exported = framework.director.export_session(report.session_id)
+    target = Path(storage_dir) / SESSION_FILE
+    scratch = target.with_suffix(".tmp")
+    scratch.write_text(json.dumps(exported))
+    os.replace(scratch, target)  # atomic: the parent never sees a torn export
+    # Now spill forever; the parent's SIGKILL lands somewhere in here.
+    junk = random.Random(os.getpid())
+    while True:
+        framework.backup(
+            [(f"junk-{junk.random()}", junk.randbytes(48 * 1024)) for _ in range(2)]
+        )
+
+
+def wait_for(predicate, deadline: float, what: str):
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def parent_main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-kill9-") as tmp:
+        storage_dir = Path(tmp)
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--child", tmp],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        deadline = time.monotonic() + DEADLINE_SECONDS
+        try:
+            wait_for(
+                lambda: (storage_dir / SESSION_FILE).exists(),
+                deadline,
+                "the acknowledged session export",
+            )
+            baseline = count_spills(storage_dir)
+            wait_for(
+                lambda: count_spills(storage_dir) >= baseline + EXTRA_SPILLS,
+                deadline,
+                "post-acknowledgement spill activity",
+            )
+        except TimeoutError:
+            child.kill()
+            child.wait()
+            raise
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+        print(f"killed child {child.pid} at {count_spills(storage_dir)} spill files")
+
+        framework = build_framework(tmp)
+        recoveries = framework.recover_storage()
+        recovered = sum(len(r.containers) for r in recoveries)
+        debris = sum(
+            r.records_discarded + r.records_dropped + len(r.orphans_removed)
+            for r in recoveries
+        )
+        print(f"recovered {recovered} containers ({debris} debris records/files)")
+        session = framework.director.import_session(
+            json.loads((storage_dir / SESSION_FILE).read_text())
+        )
+
+        failures = 0
+        for path, payload in seeded_files():
+            restored = framework.restore(session.session_id, path)
+            if restored != payload:
+                failures += 1
+                print(f"FAIL: {path} restored {len(restored)} bytes, mismatched")
+        # The replication leg: byte-identical with each node down in turn.
+        for node in framework.cluster.nodes:
+            framework.cluster.mark_node_down(node.node_id)
+            for path, payload in seeded_files():
+                if framework.restore(session.session_id, path) != payload:
+                    failures += 1
+                    print(f"FAIL: {path} mismatched with node {node.node_id} down")
+            framework.cluster.mark_node_up(node.node_id)
+        failover_reads = framework.cluster.describe()["failover_reads"]
+        framework.close()
+        if failures:
+            print(f"kill-9 recovery check FAILED ({failures} mismatches)")
+            return 1
+        print(
+            f"kill-9 recovery check OK: acknowledged session byte-identical, "
+            f"{failover_reads} failover reads served with nodes down"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        child_main(sys.argv[2])
+    else:
+        sys.exit(parent_main())

@@ -1,0 +1,269 @@
+"""Tests for repro.cluster.replication (mirroring, failover reads, policy)."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import DedupeCluster
+from repro.cluster.replication import (
+    REPLICA_ID_STRIDE,
+    REPLICA_SUBDIR,
+    FailoverPolicy,
+    ReplicaStore,
+    clone_sealed_container,
+)
+from repro.core.framework import SigmaDedupe
+from repro.errors import NodeUnavailableError, ValidationError
+from repro.node.dedupe_node import DedupeNode, NodeConfig
+from repro.storage.backends import FileContainerBackend
+from tests.helpers import chunk_records_from_seeds, superchunk_from_seeds
+
+
+def sealed_container(tmp_path, seeds=(1, 2, 3, 4)):
+    """A sealed, spilled container plus its node (caller closes the node)."""
+    node = DedupeNode(
+        0,
+        config=NodeConfig(
+            container_capacity=2048,
+            storage_dir=str(tmp_path / "donor"),
+            container_backend="file",
+        ),
+    )
+    node.backup_superchunk(superchunk_from_seeds(list(seeds)))
+    node.flush()
+    container = node.container_store.get(node.container_store.container_ids()[0])
+    return node, container
+
+
+def make_framework(tmp_path=None, **overrides):
+    options = dict(
+        num_nodes=3,
+        node_config=NodeConfig(container_capacity=2048),
+        superchunk_size=4096,
+        replication_factor=2,
+    )
+    if tmp_path is not None:
+        options["storage_dir"] = str(tmp_path)
+    options.update(overrides)
+    return SigmaDedupe(**options)
+
+
+def backup_corpus(framework, num_files=4, file_size=6000, seed=17):
+    rng = random.Random(seed)
+    files = [(f"file-{i}", rng.randbytes(file_size)) for i in range(num_files)]
+    report = framework.backup(files)
+    return report.session_id, files
+
+
+class TestFailoverPolicy:
+    def test_delay_sequence_is_exponential(self):
+        policy = FailoverPolicy(max_retries=3, backoff_base=0.01, backoff_multiplier=2.0)
+        assert list(policy.delays()) == [0.01, 0.02, 0.04]
+
+    def test_zero_retries_yields_nothing(self):
+        assert list(FailoverPolicy(max_retries=0).delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FailoverPolicy(max_retries=-1)
+        with pytest.raises(ValidationError):
+            FailoverPolicy(backoff_base=-0.1)
+        with pytest.raises(ValidationError):
+            FailoverPolicy(backoff_multiplier=0.0)
+
+
+class TestCloneAndReplicaStore:
+    def test_clone_is_independent_of_origin_storage(self, tmp_path):
+        node, container = sealed_container(tmp_path)
+        clone = clone_sealed_container(container, replica_id=4242)
+        assert clone.container_id == 4242
+        assert clone.sealed
+        expected = {
+            record.fingerprint: record.data
+            for record in chunk_records_from_seeds([1, 2, 3, 4])
+        }
+        # Destroy the origin's spill plane; the clone must still serve reads.
+        node.close()
+        for fingerprint, payload in expected.items():
+            assert clone.read_chunk(fingerprint) == payload
+
+    def test_store_is_idempotent_and_counts_once(self, tmp_path):
+        node, container = sealed_container(tmp_path)
+        store = ReplicaStore(node_id=1)
+        store.store(0, container)
+        store.store(0, container)
+        assert store.container_count() == 1
+        assert store.snapshot_bytes() == container.used
+        assert store.holds(0, container.container_id)
+        assert not store.holds(1, container.container_id)
+        node.close()
+
+    def test_file_backed_store_spills_composite_ids(self, tmp_path):
+        node, container = sealed_container(tmp_path)
+        backend = FileContainerBackend(tmp_path / REPLICA_SUBDIR)
+        store = ReplicaStore(node_id=1, backend=backend)
+        store.store(0, container)
+        composite = 0 * REPLICA_ID_STRIDE + container.container_id
+        assert backend.spill_path(composite).exists()
+        fingerprint = container.fingerprints()[0]
+        assert (
+            store.read_chunk(0, fingerprint, container.container_id)
+            == container.read_chunk(fingerprint)
+        )
+        store.close()
+        node.close()
+
+    def test_read_chunks_aligns_misses(self, tmp_path):
+        node, container = sealed_container(tmp_path)
+        store = ReplicaStore(node_id=1)
+        store.store(0, container)
+        fingerprint = container.fingerprints()[0]
+        results = store.read_chunks(
+            0,
+            [
+                (fingerprint, container.container_id),
+                (fingerprint, container.container_id + 999),  # unknown container
+                (b"\x00" * 20, container.container_id),  # unknown fingerprint
+            ],
+        )
+        assert results[0] is not None
+        assert results[1] is None
+        assert results[2] is None
+        node.close()
+
+
+class TestReplicationManager:
+    def test_factor_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            DedupeCluster(num_nodes=2, replication_factor=3)
+        with pytest.raises(ValidationError):
+            DedupeCluster(num_nodes=2, replication_factor=0)
+        # factor 1 simply disables replication.
+        assert DedupeCluster(num_nodes=2, replication_factor=1).replication is None
+
+    def test_successor_ring(self):
+        cluster = DedupeCluster(num_nodes=4, replication_factor=3)
+        assert cluster.replication.successors(0) == [1, 2]
+        assert cluster.replication.successors(3) == [0, 1]
+
+    def test_seals_are_mirrored_to_successors(self, tmp_path):
+        framework = make_framework(tmp_path)
+        session_id, _files = backup_corpus(framework)
+        cluster = framework.cluster
+        for node in cluster.nodes:
+            for container_id in node.container_store.container_ids():
+                successor = cluster.node((node.node_id + 1) % cluster.num_nodes)
+                assert successor.replica_store.holds(node.node_id, container_id)
+        summary = cluster.describe()
+        total = sum(
+            node.container_store.container_count for node in cluster.nodes
+        )
+        assert summary["replication_factor"] == 2
+        assert summary["replicated_containers"] == total
+        framework.close()
+
+    def test_replicas_spill_under_replica_subdir(self, tmp_path):
+        framework = make_framework(tmp_path)
+        backup_corpus(framework)
+        spilled = [
+            list((tmp_path / f"node-{node.node_id}" / REPLICA_SUBDIR).glob("*.cdata"))
+            for node in framework.cluster.nodes
+        ]
+        assert any(files for files in spilled)
+        framework.close()
+
+
+class TestFailoverReads:
+    @pytest.mark.parametrize("backed", ["file", "memory"])
+    def test_restore_is_byte_identical_with_any_single_node_down(
+        self, tmp_path, backed
+    ):
+        framework = make_framework(tmp_path if backed == "file" else None)
+        session_id, files = backup_corpus(framework)
+        cluster = framework.cluster
+        before = cluster.describe()["failover_reads"]
+        for node in cluster.nodes:
+            cluster.mark_node_down(node.node_id)
+            for path, payload in files:
+                assert framework.restore(session_id, path) == payload
+            cluster.mark_node_up(node.node_id)
+        assert cluster.describe()["failover_reads"] > before
+        framework.close()
+
+    def test_down_node_without_replication_raises(self, tmp_path):
+        framework = make_framework(tmp_path, replication_factor=1)
+        session_id, files = backup_corpus(framework)
+        used = {
+            location.node_id
+            for recipe in framework.director.iter_recipes(session_id)
+            for location in recipe.chunks
+        }
+        framework.cluster.mark_node_down(next(iter(used)))
+        with pytest.raises(NodeUnavailableError):
+            for path, _payload in files:
+                framework.restore(session_id, path)
+        framework.close()
+
+    def test_all_replica_holders_down_raises(self, tmp_path):
+        framework = make_framework(tmp_path)
+        session_id, files = backup_corpus(framework)
+        for node in framework.cluster.nodes:
+            node.mark_down()
+        with pytest.raises(NodeUnavailableError):
+            for path, _payload in files:
+                framework.restore(session_id, path)
+        framework.close()
+
+    def test_missing_spill_file_fails_over_after_retries(self, tmp_path):
+        framework = make_framework(
+            tmp_path,
+            failover_policy=FailoverPolicy(max_retries=1, backoff_base=0.0),
+        )
+        session_id, files = backup_corpus(framework)
+        # Vaporise one node's primary spill plane (keep its replicas intact).
+        victim = next(
+            node
+            for node in framework.cluster.nodes
+            if node.container_store.container_count
+        )
+        for spill in (tmp_path / f"node-{victim.node_id}").glob("*.cdata"):
+            spill.unlink()
+        for path, payload in files:
+            assert framework.restore(session_id, path) == payload
+        assert framework.cluster.describe()["failover_reads"] > 0
+        framework.close()
+
+    def test_stale_replica_plane_cleared_and_remirrored(self, tmp_path):
+        framework = make_framework(tmp_path)
+        session_id, files = backup_corpus(framework)
+        exported = framework.director.export_session(session_id)
+        framework.close()
+        # Plant debris a killed process could have left in a replica plane.
+        stale = tmp_path / "node-0" / REPLICA_SUBDIR / "container-00099999.cdata"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_bytes(b"stale replica debris")
+
+        revived = make_framework(tmp_path)
+        assert not stale.exists()  # cleared when the ReplicaStore took over
+        revived.recover_storage()
+        session = revived.director.import_session(exported)
+        revived.cluster.mark_node_down(0)
+        for path, payload in files:
+            assert revived.restore(session.session_id, path) == payload
+        revived.close()
+
+    def test_recovered_cluster_restores_with_node_down(self, tmp_path):
+        framework = make_framework(tmp_path)
+        session_id, files = backup_corpus(framework)
+        exported = framework.director.export_session(session_id)
+        framework.close()
+
+        revived = make_framework(tmp_path)
+        revived.recover_storage()
+        session = revived.director.import_session(exported)
+        for node in revived.cluster.nodes:
+            revived.cluster.mark_node_down(node.node_id)
+            for path, payload in files:
+                assert revived.restore(session.session_id, path) == payload
+            revived.cluster.mark_node_up(node.node_id)
+        revived.close()

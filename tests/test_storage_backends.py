@@ -295,7 +295,8 @@ class TestCompressedSpill:
         store.flush()
         assert 0 < backend.spilled_bytes_stored < backend.spilled_bytes
         on_disk = sum(
-            entry.stat().st_size for entry in backend.storage_dir.iterdir()
+            entry.stat().st_size
+            for entry in backend.storage_dir.glob("container-*.cdata")
         )
         assert on_disk == backend.spilled_bytes_stored
 

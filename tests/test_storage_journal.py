@@ -1,0 +1,155 @@
+"""Tests for repro.storage.journal (checksummed spill manifest journal)."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.journal import (
+    JOURNAL_VERSION,
+    MANIFEST_NAME,
+    ManifestJournal,
+    decode_line,
+    encode_record,
+)
+
+
+def make_record(container_id: int = 0, **overrides) -> dict:
+    record = {
+        "v": JOURNAL_VERSION,
+        "container_id": container_id,
+        "stream_id": 7,
+        "capacity": 4096,
+        "used": 1024,
+        "codec": "none",
+        "stored_length": 1024,
+        "stored_crc": 12345,
+        "chunks": [["ab" * 20, 0, 1024]],
+    }
+    record.update(overrides)
+    return record
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        line = encode_record(make_record())
+        assert line.endswith(b"\n")
+        decoded = decode_line(line[:-1])
+        assert decoded is not None
+        assert decoded["container_id"] == 0
+        assert decoded["chunks"] == [["ab" * 20, 0, 1024]]
+
+    def test_stale_crc_in_input_is_ignored(self):
+        record = make_record()
+        record["crc"] = 999  # wrong on purpose; encode must recompute
+        decoded = decode_line(encode_record(record)[:-1])
+        assert decoded is not None
+
+    def test_torn_line_decodes_to_none(self):
+        line = encode_record(make_record())[:-1]
+        for cut in (1, len(line) // 2, len(line) - 1):
+            assert decode_line(line[:cut]) is None
+
+    def test_bit_flip_fails_checksum(self):
+        line = bytearray(encode_record(make_record())[:-1])
+        # Flip a digit inside the stored_length value.
+        position = line.find(b'"stored_length":') + len(b'"stored_length":')
+        line[position] = ord("9") if line[position] != ord("9") else ord("8")
+        assert decode_line(bytes(line)) is None
+
+    def test_missing_required_field_rejected(self):
+        record = make_record()
+        del record["stored_crc"]
+        assert decode_line(encode_record(record)[:-1]) is None
+
+    def test_non_object_lines_rejected(self):
+        for line in (b"", b"[]", b'"x"', b"42", b"\xff\xfe"):
+            assert decode_line(line) is None
+
+    def test_crc_matches_manual_computation(self):
+        line = encode_record(make_record())[:-1]
+        parsed = json.loads(line)
+        crc = parsed.pop("crc")
+        canonical = json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+        assert crc == zlib.crc32(canonical.encode("ascii"))
+
+
+class TestManifestJournal:
+    def test_append_and_replay(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        for container_id in range(3):
+            journal.append(make_record(container_id))
+        replay = journal.replay()
+        assert [r["container_id"] for r in replay.records] == [0, 1, 2]
+        assert replay.discarded_lines == 0
+        assert replay.valid_bytes == (tmp_path / MANIFEST_NAME).stat().st_size
+        assert journal.records_appended == 3
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = ManifestJournal(tmp_path / MANIFEST_NAME).replay()
+        assert replay.records == []
+        assert replay.valid_bytes == 0
+        assert replay.discarded_lines == 0
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        journal.append(make_record(0))
+        good_size = journal.path.stat().st_size
+        journal.append_raw(encode_record(make_record(1))[:10])
+        replay = journal.replay()
+        assert [r["container_id"] for r in replay.records] == [0]
+        assert replay.valid_bytes == good_size
+        assert replay.discarded_lines == 1
+
+    def test_corrupt_middle_record_invalidates_suffix(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        journal.append(make_record(0))
+        good_size = journal.path.stat().st_size
+        journal.append_raw(b'{"not": "a record"}\n')
+        journal.append(make_record(2))  # valid, but behind the corruption
+        replay = journal.replay()
+        assert [r["container_id"] for r in replay.records] == [0]
+        assert replay.valid_bytes == good_size
+        assert replay.discarded_lines == 2
+
+    def test_append_raw_empty_is_noop(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        journal.append_raw(b"")
+        assert not journal.path.exists()
+
+    def test_truncate_cuts_back_to_prefix(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        journal.append(make_record(0))
+        journal.append_raw(b"garbage")
+        replay = journal.replay()
+        journal.truncate(replay.valid_bytes)
+        assert journal.path.stat().st_size == replay.valid_bytes
+        # Now clean: append works and replays fully.
+        journal.append(make_record(1))
+        replay = journal.replay()
+        assert [r["container_id"] for r in replay.records] == [0, 1]
+        assert replay.discarded_lines == 0
+
+    def test_truncate_validates_and_tolerates_missing(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        with pytest.raises(ValidationError):
+            journal.truncate(-1)
+        journal.truncate(0)  # no file: no-op
+        journal.append(make_record(0))
+        size = journal.path.stat().st_size
+        journal.truncate(size + 100)  # already shorter: no-op
+        assert journal.path.stat().st_size == size
+
+    def test_first_record_sniffs_codec(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        assert journal.first_record() is None
+        journal.append(make_record(0, codec="zlib"))
+        journal.append(make_record(1, codec="none"))
+        first = journal.first_record()
+        assert first is not None and first["codec"] == "zlib"
+
+    def test_first_record_none_for_torn_first_line(self, tmp_path):
+        journal = ManifestJournal(tmp_path / MANIFEST_NAME)
+        journal.append_raw(encode_record(make_record(0))[:-1])  # no newline
+        assert journal.first_record() is None
