@@ -23,7 +23,22 @@ in MB/s over the same synthetic payload:
   engine (``SigmaDedupe(workers=N)``) for workers in {1, 2, 4}: worker lanes
   fan out the chunk+fingerprint front end, results stay byte-identical to
   serial ingest.  Lanes are threads, so the scaling headroom is bounded by
-  the host's cores (recorded as ``cpu_count`` in the config);
+  the host's cores (recorded as ``cpu_count`` in the config); each row
+  carries a ``gil_bound`` flag -- true when the node plane shares one GIL
+  (in-process transport) or only one core is available;
+* **transport_end_to_end** -- the same session over the multiprocess node
+  plane (``SigmaDedupe(transport="process")``) for 1, 2 and 4 node worker
+  processes: each node runs in its own process behind the binary RPC
+  transport, so node-plane dedupe escapes the client GIL entirely and the
+  one-deep pipelined backup overlaps super-chunk k+1's routing with k's
+  store;
+* **wire_payload_plane** -- the two candidate zero-copy payload planes,
+  measured head to head (parent process shipping chunk-frame trains to a
+  child): ``sendmsg`` scatter-gather over a unix socket vs a
+  ``shared_memory`` double-buffered ring.  The transport keeps the winner
+  (``sendmsg``: no copy into a staging ring, no credit round-trips; the
+  ring's extra copy only pays off for frames far larger than containers);
+  both rates are recorded so the choice stays auditable;
 * **restore** -- the read path on the spill-to-disk backend: a two-generation
   session whose later recipes interleave containers, restored chunk-at-a-time
   (the seed path, one spill reload per chunk softened only by a one-slot
@@ -55,7 +70,10 @@ byte-identical with the failover leg actually serving replica reads and
 holding >= 0.25x the healthy replicated rate, and -- on hosts with >= 4 cores, i.e. the
 CI runners -- workers=4 parallel ingest is >= 1.5x workers=1 (>= 2 cores gate
 at a reduced 1.1x; a single-core host records the rows and skips the
-assertion, since thread scaling is physically impossible there).
+assertion, since thread scaling is physically impossible there).  The
+process-transport gate mirrors the parallel one: on >= 4 cores, 4 node
+workers must ingest >= 1.5x the 1-worker rate (single-core hosts record the
+rows and skip -- four processes on one core cannot scale).
 
 Run directly::
 
@@ -107,6 +125,15 @@ CHUNK_REPEATS_PURE = 3
 PRE_WALK_CHUNK_ONLY = 105.62
 PARALLEL_WORKERS = (1, 2, 4)
 PARALLEL_REPEATS = 3
+# Transport rows: node worker *processes* (each hosting one DedupeNode), the
+# GIL-escape axis.  The 4-worker row must scale like the thread-lane gate.
+TRANSPORT_WORKERS = (1, 2, 4)
+TRANSPORT_REPEATS = 2
+TRANSPORT_SCALE_GATE = 1.5
+# The wire-plane duel ships this many frames per train (one synthetic
+# super-chunk of 4 KB chunks per train).
+WIRE_TRAIN_FRAMES = 64
+WIRE_FRAME_BYTES = 4096
 # Restore rows use small containers so even the smoke payload spreads over
 # many spill files (with 4 MiB containers a 3 MB smoke run would fit in one
 # container per node and the one-slot buffer would hide the whole effect).
@@ -223,6 +250,137 @@ def measure_parallel_end_to_end(
     for _ in range(PARALLEL_REPEATS):
         best = max(best, measure_end_to_end(best_chunker(), files, workers=workers))
     return best
+
+
+def measure_transport_end_to_end(
+    files: List[Tuple[str, bytes]], node_workers: int
+) -> float:
+    """Best-of-repeats ingest over the multiprocess node plane.
+
+    ``node_workers`` worker processes each host one node behind the binary
+    RPC transport; the backup client pipelines one super-chunk deep, so
+    routing of k+1 overlaps the store of k inside the workers."""
+    logical = sum(len(data) for _, data in files)
+    best = 0.0
+    for _ in range(TRANSPORT_REPEATS):
+        framework = SigmaDedupe(
+            num_nodes=node_workers,
+            routing="sigma",
+            chunker=best_chunker(),
+            superchunk_size=SUPERCHUNK_SIZE,
+            transport="process",
+        )
+        try:
+            start = time.perf_counter()
+            report = framework.backup(files, session_label="bench-transport")
+            elapsed = time.perf_counter() - start
+            assert report.logical_bytes == logical, (report.logical_bytes, logical)
+        finally:
+            framework.close()
+        best = max(best, _mbps(logical, elapsed))
+    return best
+
+
+def _wire_drain_child(fd: int, trains: int, frames_per_train: int) -> None:
+    """Child side of the sendmsg duel: drain whole trains off the socket."""
+    import socket as socket_module
+
+    from repro.transport import wire
+
+    sock = socket_module.socket(fileno=fd)
+    try:
+        for _ in range(trains):
+            _header, frames, _nbytes = wire.recv_message(sock)
+            assert len(frames) == frames_per_train
+    finally:
+        sock.close()
+
+
+def _shm_drain_child(
+    shm_name: str, half_bytes: int, trains: int, queue: "object", credits: "object"
+) -> None:
+    """Child side of the shm-ring duel: copy each train out of the ring half
+    named by the queue, then return the credit so the parent can reuse it."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=shm_name)
+    try:
+        for _ in range(trains):
+            half, length = queue.get()  # type: ignore[attr-defined]
+            offset = half * half_bytes
+            section = bytes(segment.buf[offset:offset + length])
+            assert len(section) == length
+            credits.put(half)  # type: ignore[attr-defined]
+    finally:
+        segment.close()
+
+
+def measure_wire_payload_plane(total_bytes: int) -> Dict[str, float]:
+    """The zero-copy payload-plane duel: the same chunk-frame trains shipped
+    parent -> child through ``sendmsg`` scatter-gather vs a ``shared_memory``
+    double-buffered ring.  The transport keeps the winner (sendmsg); both
+    rates are recorded so the decision stays auditable in the JSON."""
+    import multiprocessing
+    import socket as socket_module
+    from multiprocessing import shared_memory
+
+    from repro.transport import wire
+
+    rng = random.Random(60902)
+    frames = [rng.randbytes(WIRE_FRAME_BYTES) for _ in range(WIRE_TRAIN_FRAMES)]
+    train_bytes = WIRE_TRAIN_FRAMES * WIRE_FRAME_BYTES
+    trains = max(1, total_bytes // train_bytes)
+    shipped = trains * train_bytes
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    rows: Dict[str, float] = {}
+
+    # sendmsg scatter-gather: the plane the transport actually uses.
+    parent_sock, child_sock = socket_module.socketpair()
+    drainer = context.Process(
+        target=_wire_drain_child,
+        args=(child_sock.fileno(), trains, WIRE_TRAIN_FRAMES),
+    )
+    drainer.start()
+    start = time.perf_counter()
+    for sequence in range(trains):
+        wire.send_message(parent_sock, {"seq": sequence}, frames)
+    drainer.join()
+    rows["sendmsg"] = round(_mbps(shipped, time.perf_counter() - start), 2)
+    parent_sock.close()
+    child_sock.close()
+
+    # shared_memory double-buffered ring: the measured-and-rejected
+    # alternative -- every frame is copied into the ring and out again, and
+    # each half costs a credit round-trip before reuse.
+    half_bytes = train_bytes
+    segment = shared_memory.SharedMemory(create=True, size=2 * half_bytes)
+    queue: "multiprocessing.Queue" = context.Queue()
+    credits: "multiprocessing.Queue" = context.Queue()
+    drainer = context.Process(
+        target=_shm_drain_child,
+        args=(segment.name, half_bytes, trains, queue, credits),
+    )
+    drainer.start()
+    try:
+        for half in range(2):
+            credits.put(half)
+        start = time.perf_counter()
+        for _sequence in range(trains):
+            half = credits.get()
+            offset = half * half_bytes
+            cursor = offset
+            for frame in frames:
+                segment.buf[cursor:cursor + len(frame)] = frame
+                cursor += len(frame)
+            queue.put((half, cursor - offset))
+        drainer.join()
+        rows["shm-ring"] = round(_mbps(shipped, time.perf_counter() - start), 2)
+    finally:
+        segment.close()
+        segment.unlink()
+    return rows
 
 
 def compressible_bytes(generator: SyntheticDataGenerator, total: int) -> bytes:
@@ -472,11 +630,38 @@ def run(scale: str) -> Dict:
         }
 
         # Parallel ingest: the same session through worker lanes (thread
-        # executor, so scaling is bounded by the host's cores).
+        # executor, so scaling is bounded by the host's cores).  Thread lanes
+        # against the in-process node plane share one GIL, so every row is
+        # flagged gil_bound (only hashlib/NumPy sections escape it); the
+        # flag also trips on single-core hosts where no lane can scale.
+        cpu_count = os.cpu_count() or 1
+        # The rule: a row is gil_bound when the node plane is in-process
+        # (DedupeCluster.transport == "inproc", the parallel rows' substrate)
+        # or the host has one core.  For these rows that is always true.
+        gil_bound = cpu_count == 1 or DedupeCluster.transport == "inproc"
         results["parallel_end_to_end"] = {
-            f"workers-{workers}": round(measure_parallel_end_to_end(files, workers), 2)
+            f"workers-{workers}": {
+                "mb_per_s": round(measure_parallel_end_to_end(files, workers), 2),
+                "gil_bound": gil_bound,
+            }
             for workers in PARALLEL_WORKERS
         }
+
+        # The multiprocess node plane: per-core node workers behind real RPC.
+        # These rows escape the GIL by construction; only a single-core host
+        # (which cannot run workers in parallel at all) marks them bound.
+        results["transport_end_to_end"] = {
+            f"workers-{workers}": {
+                "mb_per_s": round(measure_transport_end_to_end(files, workers), 2),
+                "gil_bound": cpu_count == 1,
+            }
+            for workers in TRANSPORT_WORKERS
+        }
+
+        # The payload-plane duel behind the transport's wire format.
+        results["wire_payload_plane"] = measure_wire_payload_plane(
+            min(total_bytes, 8 * 1024 * 1024)
+        )
 
         # Restore: the spill-backed read path, chunk-at-a-time vs batched vs
         # streamed, over a session whose recipes interleave containers.
@@ -599,8 +784,8 @@ def run(scale: str) -> Dict:
     # >= 4, so the 1.5x contract is enforced there; 2-3 cores gate at a
     # reduced 1.1x; a single core records the rows but cannot assert scaling.
     cpu_count = os.cpu_count() or 1
-    parallel_one = results["parallel_end_to_end"]["workers-1"]
-    parallel_four = results["parallel_end_to_end"]["workers-4"]
+    parallel_one = results["parallel_end_to_end"]["workers-1"]["mb_per_s"]
+    parallel_four = results["parallel_end_to_end"]["workers-4"]["mb_per_s"]
     if numpy_available() and cpu_count >= 2:
         parallel_gate = 1.5 if cpu_count >= 4 else 1.1
         assert parallel_four >= parallel_one * parallel_gate, (
@@ -613,13 +798,31 @@ def run(scale: str) -> Dict:
             "cannot scale here]"
         )
 
+    # Transport gate: node worker processes escape the GIL, so on the >= 4
+    # core CI runners 4 workers must ingest >= 1.5x the 1-worker rate.  A
+    # single-core host records the rows (flagged gil_bound) and skips --
+    # four processes multiplexed onto one core cannot scale.
+    transport_one = results["transport_end_to_end"]["workers-1"]["mb_per_s"]
+    transport_four = results["transport_end_to_end"]["workers-4"]["mb_per_s"]
+    if cpu_count >= 4:
+        assert transport_four >= transport_one * TRANSPORT_SCALE_GATE, (
+            f"process-transport ingest failed to scale: workers=4 at "
+            f"{transport_four} MB/s vs workers=1 at {transport_one} MB/s "
+            f"(< {TRANSPORT_SCALE_GATE}x on {cpu_count} cores)"
+        )
+    else:
+        print(
+            f"[transport gate skipped: {cpu_count} core(s) available, worker "
+            "processes cannot scale here]"
+        )
+
     try:
         import numpy
         numpy_version = numpy.__version__
     except ImportError:
         numpy_version = None
     return {
-        "schema": "bench-ingest-v5",
+        "schema": "bench-ingest-v6",
         "generated_by": "benchmarks/bench_ingest_throughput.py",
         "config": {
             "scale": scale,
@@ -638,6 +841,11 @@ def run(scale: str) -> Dict:
             },
             "parallel_workers": list(PARALLEL_WORKERS),
             "parallel_repeats": PARALLEL_REPEATS,
+            "transport_workers": list(TRANSPORT_WORKERS),
+            "transport_repeats": TRANSPORT_REPEATS,
+            "wire_train_frames": WIRE_TRAIN_FRAMES,
+            "wire_frame_bytes": WIRE_FRAME_BYTES,
+            "wire_plane_kept": "sendmsg",
             "restore_container_capacity": RESTORE_CONTAINER_CAPACITY,
             "restore_repeats": RESTORE_REPEATS,
             "recovery_replication_factor": RECOVERY_REPLICATION_FACTOR,
@@ -671,8 +879,16 @@ def main(argv: "List[str] | None" = None) -> int:
     results = document["results_mb_per_s"]
     print(f"ingest throughput (MB/s), {document['config']['data_bytes']} bytes:")
     for stage, by_backend in results.items():
-        columns = "".join(f"  {name}={value}" for name, value in by_backend.items())
+        columns = ""
+        for name, value in by_backend.items():
+            if isinstance(value, dict):
+                rate = value["mb_per_s"]
+                flag = "*" if value.get("gil_bound") else ""
+                columns += f"  {name}={rate}{flag}"
+            else:
+                columns += f"  {name}={value}"
         print(f"{stage:<20}{columns}")
+    print("(* = gil_bound row: in-process node plane or single-core host)")
     spill = document["spill_bytes"]
     print(
         f"spill bytes ({spill['codec']}): raw={spill['raw']} "

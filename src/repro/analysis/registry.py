@@ -79,6 +79,18 @@ READ_PATH_SCOPES: Dict[str, Tuple[str, ...]] = {
         "DedupeNode.read_chunk",
         "DedupeNode.read_chunks",
     ),
+    # The process-transport restore plane: RPC reads and replica failover
+    # reads are restore reads wherever they execute, so the parent-side
+    # methods stay stats-free like their in-process twins.  (The worker-side
+    # handlers delegate straight to the scoped DedupeNode/ReplicaStore
+    # methods above.)
+    "transport/cluster.py": (
+        "TransportCluster.read_chunk",
+        "TransportCluster.read_chunks",
+        "TransportCluster._read_direct",
+        "TransportCluster._failover_read",
+        "TransportReplication.read_chunks_failover",
+    ),
 }
 
 # --------------------------------------------------------------------- #
@@ -112,6 +124,13 @@ STREAMING_MODULES: FrozenSet[str] = frozenset(
         "storage/recovery.py",
         "cluster/replication.py",
         "faults/plan.py",
+        # The transport plane: wire trains carry one super-chunk or one
+        # sealed container per message (bounded by super-chunk/container
+        # capacity), with payload chunks as by-reference frames -- never a
+        # whole backup stream.
+        "transport/wire.py",
+        "transport/worker.py",
+        "transport/cluster.py",
     }
 )
 

@@ -11,7 +11,7 @@ transfer, and only the unique data chunks are transferred over the network."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
@@ -19,7 +19,14 @@ from repro.cluster.recipe import ChunkLocation
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
 from repro.core.superchunk import SuperChunk
 from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.node.dedupe_node import SuperChunkBackupResult
 from repro.parallel.engine import ParallelIngestEngine, resolve_workers
+from repro.routing.base import RoutingDecision
+
+if TYPE_CHECKING:
+    from repro.transport.cluster import PendingBackup, TransportCluster
+
+    AnyCluster = Union[DedupeCluster, TransportCluster]
 
 
 @dataclass
@@ -76,7 +83,7 @@ class BackupClient:
     def __init__(
         self,
         client_id: str,
-        cluster: DedupeCluster,
+        cluster: "AnyCluster",
         director: Director,
         partitioner_config: Optional[PartitionerConfig] = None,
         workers: Optional[int] = None,
@@ -128,15 +135,23 @@ class BackupClient:
         session = self.director.open_session(self.client_id, label=session_label)
         report = ClientBackupReport(session_id=session.session_id)
 
-        for superchunk, contributions in self._partition(files, stream_id, workers):
-            if superchunk is None:
-                # Trailing zero-byte files with no super-chunk to ride on:
-                # nothing to route, but their (empty) recipes must exist.
-                for path, _records in contributions:
-                    self.director.record_file_chunks(session.session_id, path, [])
-                continue
-            decision = self.cluster.route_superchunk(superchunk)
-            result = self.cluster.backup_superchunk(superchunk, decision)
+        # Transports that can ship a super-chunk without blocking on its
+        # store expose ``backup_superchunk_send``; against one, the loop runs
+        # a one-deep pipeline -- super-chunk k+1 is routed (its lookup RPCs
+        # answered in connection FIFO order, i.e. after k's store on the
+        # target) while k's store executes in the worker.  Results are
+        # byte-identical to the eager path; only wall-clock overlaps.
+        send = getattr(self.cluster, "backup_superchunk_send", None)
+        pending: Optional[
+            Tuple[SuperChunk, List[Tuple[str, List[ChunkRecord]]], "PendingBackup"]
+        ] = None
+
+        def settle(
+            superchunk: SuperChunk,
+            contributions: List[Tuple[str, List[ChunkRecord]]],
+            decision: RoutingDecision,
+            result: SuperChunkBackupResult,
+        ) -> None:
             report.superchunks_routed += 1
             report.logical_bytes += superchunk.logical_size
             report.unique_chunks += result.unique_chunks
@@ -158,6 +173,32 @@ class BackupClient:
                     for record in records
                 ]
                 self.director.record_file_chunks(session.session_id, path, locations)
+
+        def resolve_pending() -> None:
+            nonlocal pending
+            if pending is None:
+                return
+            held_superchunk, held_contributions, handle = pending
+            pending = None
+            settle(held_superchunk, held_contributions, handle.decision, handle.result())
+
+        for superchunk, contributions in self._partition(files, stream_id, workers):
+            if superchunk is None:
+                # Trailing zero-byte files with no super-chunk to ride on:
+                # nothing to route, but their (empty) recipes must exist --
+                # after any in-flight super-chunk, to keep recipe order.
+                resolve_pending()
+                for path, _records in contributions:
+                    self.director.record_file_chunks(session.session_id, path, [])
+                continue
+            decision = self.cluster.route_superchunk(superchunk)
+            if send is None:
+                result = self.cluster.backup_superchunk(superchunk, decision)
+                settle(superchunk, contributions, decision, result)
+            else:
+                resolve_pending()
+                pending = (superchunk, contributions, send(superchunk, decision))
+        resolve_pending()
 
         report.files_backed_up = session.file_count
         self.cluster.flush()

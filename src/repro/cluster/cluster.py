@@ -73,6 +73,10 @@ class DedupeCluster(ClusterView):
         Bounded-retry/backoff tuning for primary restore reads.
     """
 
+    transport = "inproc"
+    """Node-plane substrate tag; the process-transport twin is
+    :class:`~repro.transport.cluster.TransportCluster` (``"process"``)."""
+
     def __init__(
         self,
         num_nodes: int,

@@ -77,6 +77,34 @@ class FailoverPolicy:
             delay *= self.backoff_multiplier
 
 
+def replica_backend_for(node: "DedupeNode") -> Optional[FileContainerBackend]:
+    """Build the replica spill backend for ``node`` (``None`` when the node's
+    primary backend keeps containers in RAM).
+
+    The replica plane is a pure shadow: after a crash it is rebuilt by
+    re-mirroring (``recover_storage`` re-syncs every recovered seal), so
+    spill files a previous process left behind are debris.  They are cleared
+    when taking over the directory rather than letting them accumulate across
+    crash/recovery cycles.  Shared by the in-process
+    :class:`ReplicationManager` and the process-transport
+    :class:`~repro.transport.worker.NodeWorker`, which host replica stores on
+    opposite sides of the process boundary but with identical layout.
+    """
+    primary = node.container_backend
+    if not isinstance(primary, FileContainerBackend):
+        return None
+    replica_dir = primary.storage_dir / REPLICA_SUBDIR
+    if replica_dir.is_dir():
+        for stale in replica_dir.glob("container-*.cdata"):
+            stale.unlink()
+        (replica_dir / MANIFEST_NAME).unlink(missing_ok=True)
+    return FileContainerBackend(
+        storage_dir=replica_dir,
+        compression=primary.compression,
+        fsync=primary.fsync,
+    )
+
+
 def clone_sealed_container(container: Container, replica_id: int) -> Container:
     """Deep-copy a sealed container's chunks into a resident replica.
 
@@ -126,11 +154,24 @@ class ReplicaStore:
         """
         replica_id = origin_node_id * REPLICA_ID_STRIDE + container.container_id
         clone = clone_sealed_container(container, replica_id)
+        self.adopt(origin_node_id, container.container_id, clone)
+
+    def adopt(
+        self, origin_node_id: int, container_id: int, clone: Container
+    ) -> None:
+        """Install an already-independent replica clone (idempotent).
+
+        The in-process path clones through :func:`clone_sealed_container`
+        before adopting; the process transport reconstructs the clone from
+        wire frames (its payload bytes are already private copies) and adopts
+        it directly -- one copy either way.  ``clone.container_id`` must be
+        the composite replica id (see :data:`REPLICA_ID_STRIDE`).
+        """
         if self.backend is not None:
             self.backend.on_seal(clone)
         with self._lock:
-            previous = self._replicas.get((origin_node_id, container.container_id))
-            self._replicas[(origin_node_id, container.container_id)] = clone
+            previous = self._replicas.get((origin_node_id, container_id))
+            self._replicas[(origin_node_id, container_id)] = clone
             if previous is None:
                 self.replicated_containers += 1
                 self.replicated_bytes += clone.used
@@ -209,24 +250,7 @@ class ReplicationManager:
 
     @staticmethod
     def _replica_backend(node: "DedupeNode") -> Optional[FileContainerBackend]:
-        primary = node.container_backend
-        if not isinstance(primary, FileContainerBackend):
-            return None
-        replica_dir = primary.storage_dir / REPLICA_SUBDIR
-        # The replica plane is a pure shadow: after a crash it is rebuilt by
-        # re-mirroring (``recover_storage`` re-syncs every recovered seal), so
-        # spill files a previous process left behind are debris.  Clear them
-        # when taking over the directory rather than letting them accumulate
-        # across crash/recovery cycles.
-        if replica_dir.is_dir():
-            for stale in replica_dir.glob("container-*.cdata"):
-                stale.unlink()
-            (replica_dir / MANIFEST_NAME).unlink(missing_ok=True)
-        return FileContainerBackend(
-            storage_dir=replica_dir,
-            compression=primary.compression,
-            fsync=primary.fsync,
-        )
+        return replica_backend_for(node)
 
     def successors(self, node_id: int) -> List[int]:
         """The ring successors mirroring ``node_id``'s containers."""

@@ -7,9 +7,10 @@ framework through one object.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from types import TracebackType
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Type, Union
 
 from repro.chunking import build_chunker
 from repro.chunking.base import Chunker
@@ -28,6 +29,17 @@ from repro.routing import ALL_SCHEMES
 from repro.routing.base import RoutingScheme
 from repro.errors import ValidationError
 
+if TYPE_CHECKING:
+    from repro.transport.cluster import TransportCluster
+
+    AnyCluster = Union[DedupeCluster, TransportCluster]
+
+ENV_NODE_TRANSPORT = "REPRO_NODE_TRANSPORT"
+"""Environment default for the node-plane transport (``inproc``/``process``)."""
+
+NODE_TRANSPORTS = ("inproc", "process")
+"""Registered node-plane transports (see :mod:`repro.transport`)."""
+
 
 @dataclass
 class BackupReport:
@@ -43,7 +55,7 @@ class BackupReport:
 
     @classmethod
     def from_client_report(
-        cls, report: ClientBackupReport, cluster: DedupeCluster
+        cls, report: ClientBackupReport, cluster: "AnyCluster"
     ) -> "BackupReport":
         return cls(
             session_id=report.session_id,
@@ -103,6 +115,13 @@ class SigmaDedupe:
     parallel_executor:
         ``"thread"`` (default) or ``"process"`` lanes; see
         :class:`~repro.parallel.engine.ParallelIngestEngine`.
+    transport:
+        Node-plane transport: ``"inproc"`` (default) keeps every node in
+        this process; ``"process"`` hosts each node in its own worker
+        process behind the binary RPC protocol of :mod:`repro.transport`
+        (results are byte-identical; only the execution substrate changes).
+        ``None`` defers to the ``REPRO_NODE_TRANSPORT`` environment
+        variable, falling back to ``"inproc"``.
     """
 
     def __init__(
@@ -121,6 +140,7 @@ class SigmaDedupe:
         parallel_executor: str = "thread",
         replication_factor: int = 1,
         failover_policy: Optional[FailoverPolicy] = None,
+        transport: Optional[str] = None,
     ):
         if isinstance(routing, str):
             try:
@@ -133,9 +153,18 @@ class SigmaDedupe:
             routing_scheme = routing
         if isinstance(chunker, str):
             chunker = build_chunker(chunker)
+        resolved_transport = (
+            transport or os.environ.get(ENV_NODE_TRANSPORT) or "inproc"
+        )
+        if resolved_transport not in NODE_TRANSPORTS:
+            raise ValidationError(
+                f"unknown node transport {resolved_transport!r}; expected one "
+                f"of {list(NODE_TRANSPORTS)}"
+            )
+        self.transport = resolved_transport
         # Backend inference (storage_dir alone implies "file") lives in one
         # place -- DedupeNode -- so every entry point resolves identically.
-        self.cluster = DedupeCluster(
+        cluster_kwargs = dict(
             num_nodes=num_nodes,
             node_config=node_config,
             routing_scheme=routing_scheme,
@@ -145,6 +174,13 @@ class SigmaDedupe:
             replication_factor=replication_factor,
             failover_policy=failover_policy,
         )
+        self.cluster: "AnyCluster"
+        if resolved_transport == "process":
+            from repro.transport.cluster import TransportCluster
+
+            self.cluster = TransportCluster(**cluster_kwargs)
+        else:
+            self.cluster = DedupeCluster(**cluster_kwargs)
         self.director = Director()
         self.restore_manager = RestoreManager(self.cluster, self.director)
         self._partitioner_config = PartitionerConfig(
@@ -231,13 +267,18 @@ class SigmaDedupe:
     # recovery & lifecycle
     # ------------------------------------------------------------------ #
 
-    def recover_storage(self, verify_data: bool = True) -> List[SpillRecovery]:
+    def recover_storage(
+        self, verify_data: bool = True
+    ) -> "List[SpillRecovery] | List[Dict[str, int]]":
         """Replay every node's manifest journal and rebuild its indexes.
 
         The disaster path after a hard kill: construct a fresh framework
         pointed at the surviving ``storage_dir`` (same ``num_nodes`` and
         backend settings), call this, then restore sessions through
         re-imported director recipes (see ``Director.import_session``).
+        Per-node results come back as :class:`SpillRecovery` objects
+        in-process, or as flat summary dicts over the process transport
+        (recovery details stay in the worker).
         """
         return self.cluster.recover_storage(
             handprint_size=self._partitioner_config.handprint_size,

@@ -98,6 +98,25 @@ class NodeUnavailableError(ClusterError):
     a caller bug): an unavailable node *exists* and may come back."""
 
 
+class TransportError(ClusterError):
+    """Base class for node-plane transport problems: wire-protocol framing
+    violations, worker handshake failures, or remote errors that do not map
+    back onto a known repro exception class."""
+
+
+class WireProtocolError(TransportError):
+    """Raised when a wire message violates the length-prefixed framing
+    contract (oversized header, impossible frame count, short read mid-frame).
+    Always a bug or a corrupted stream, never a retryable condition."""
+
+
+class ConnectionLostError(TransportError):
+    """Raised when the byte stream to a node worker ends mid-conversation
+    (EOF, broken pipe, reset).  The proxy layer converts this into
+    :class:`NodeUnavailableError` -- a lost connection means the worker
+    process is gone, which is exactly the down-node failure model."""
+
+
 class RecipeError(ReproError):
     """Raised when a file recipe is missing or inconsistent."""
 
@@ -139,3 +158,14 @@ class InjectedReadError(FaultInjectionError, StorageError):
     Doubly derived from :class:`StorageError` because it models an I/O fault:
     the cluster failover path treats it exactly like a real unreadable spill
     file (bounded retry, then replica failover)."""
+
+
+class RpcDroppedError(FaultInjectionError, TransportError):
+    """A deterministically dropped RPC injected by a fault plan's
+    ``drop_rpc`` schedule.
+
+    Doubly derived from :class:`TransportError` because it models a lost
+    message on the node-plane wire: the transport read path treats it as a
+    retryable transient (bounded retry under the
+    :class:`~repro.cluster.replication.FailoverPolicy`, then replica
+    failover), exactly like a real dropped datagram would surface."""

@@ -38,6 +38,7 @@ from repro.analysis.runtime import GuardLock, guarded_lock
 from repro.errors import (
     FaultInjectionError,
     InjectedReadError,
+    RpcDroppedError,
     SimulatedCrashError,
     ValidationError,
 )
@@ -105,6 +106,18 @@ class FaultPlan:
         the cluster's bounded-retry/failover plane must absorb.
     node_down_windows:
         :class:`NodeDownWindow` list consulted by the cluster read plane.
+    drop_rpc:
+        1-based indices on the transport RPC clock at which a read-plane RPC
+        is dropped before it is sent: the proxy raises
+        :class:`~repro.errors.RpcDroppedError`, a retryable transient the
+        transport's bounded-retry/failover plane must absorb.  (Dropping an
+        idempotent read request and dropping its response are equivalent to
+        the caller, so one fault models both.)  The clock ticks once per
+        consulted RPC, giving deterministic replay for a fixed workload.
+    delay_rpc:
+        ``(rpc_index, seconds)`` pairs injecting network latency before the
+        indexed RPC is sent -- exercises the retry/backoff path's tolerance
+        of slow links without nondeterminism.
     """
 
     seed: int = 0
@@ -113,6 +126,8 @@ class FaultPlan:
     torn_fraction: float = 0.5
     read_error_probability: float = 0.0
     node_down_windows: Sequence[NodeDownWindow] = field(default_factory=tuple)
+    drop_rpc: Sequence[int] = field(default_factory=tuple)
+    delay_rpc: Sequence[Tuple[int, float]] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.kill_phase not in KILL_PHASES:
@@ -125,12 +140,22 @@ class FaultPlan:
             raise ValidationError("torn_fraction must be within [0, 1]")
         if not 0.0 <= self.read_error_probability <= 1.0:
             raise ValidationError("read_error_probability must be within [0, 1]")
+        if any(index < 1 for index in self.drop_rpc):
+            raise ValidationError("drop_rpc indices are 1-based and must be >= 1")
+        if any(index < 1 or seconds < 0 for index, seconds in self.delay_rpc):
+            raise ValidationError(
+                "delay_rpc entries need a 1-based index and a non-negative delay"
+            )
+        self._drop_rpc_set = frozenset(self.drop_rpc)
+        self._delay_rpc_map = dict(self.delay_rpc)
         self._rng = Random(self.seed)
         self._lock: GuardLock = guarded_lock("FaultPlan._lock")
         self.spills_seen = 0  # guarded-by: _lock
         self.reads_seen = 0  # guarded-by: _lock
         self.ops_seen = 0  # guarded-by: _lock
+        self.rpcs_seen = 0  # guarded-by: _lock
         self.injected_read_errors = 0  # guarded-by: _lock
+        self.dropped_rpcs = 0  # guarded-by: _lock
         self.crashed = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
@@ -159,6 +184,12 @@ class FaultPlan:
             for node in target.nodes:
                 installed += self._install_backend(node.container_backend)
             return installed
+        if hasattr(target, "node_proxies") and hasattr(target, "install_fault_hook"):
+            # A process-transport cluster: the spill plane lives in worker
+            # processes this plan cannot reach, so only the RPC-plane hooks
+            # (node-down windows, drop/delay faults) are armed.
+            target.install_fault_hook(self)
+            return 1
         backend = getattr(target, "container_backend", None)
         if backend is not None:
             return self._install_backend(backend)
@@ -252,6 +283,27 @@ class FaultPlan:
             )
 
     # ------------------------------------------------------------------ #
+    # TransportFaultHook protocol
+    # ------------------------------------------------------------------ #
+
+    def rpc_fault(self, node_id: int, op: str) -> float:
+        """Tick the RPC clock for one read-plane RPC; returns the injected
+        send delay in seconds, raising :class:`~repro.errors.RpcDroppedError`
+        when this tick is on the drop schedule."""
+        with self._lock:
+            self.rpcs_seen += 1
+            rpc = self.rpcs_seen
+            dropped = rpc in self._drop_rpc_set
+            if dropped:
+                self.dropped_rpcs += 1
+            delay = self._delay_rpc_map.get(rpc, 0.0)
+        if dropped:
+            raise RpcDroppedError(
+                f"injected rpc drop at rpc {rpc} (node {node_id}, op {op!r})"  # unguarded-ok: snapshot of the ordinal taken under the lock
+            )
+        return delay
+
+    # ------------------------------------------------------------------ #
     # internals & reporting
     # ------------------------------------------------------------------ #
 
@@ -278,6 +330,8 @@ class FaultPlan:
                 "spills_seen": self.spills_seen,
                 "reads_seen": self.reads_seen,
                 "ops_seen": self.ops_seen,
+                "rpcs_seen": self.rpcs_seen,
                 "injected_read_errors": self.injected_read_errors,
+                "dropped_rpcs": self.dropped_rpcs,
                 "crashed": int(self.crashed),
             }

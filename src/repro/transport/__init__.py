@@ -1,0 +1,46 @@
+"""Pluggable node-plane transports for the dedupe cluster.
+
+The default node plane is in-process (:class:`~repro.cluster.cluster.DedupeCluster`
+holds its :class:`~repro.node.dedupe_node.DedupeNode` objects directly).  This
+package adds a ``process`` transport that hosts each node in its own OS
+process behind a length-prefixed binary RPC protocol:
+
+* :mod:`repro.transport.wire` -- the wire format (JSON header + out-of-band
+  zero-copy payload frames, shipped with ``sendmsg`` scatter-gather).
+* :mod:`repro.transport.worker` -- the per-node worker process: one
+  :class:`~repro.node.dedupe_node.DedupeNode` served from an asyncio unix
+  stream server with strict in-order dispatch.
+* :mod:`repro.transport.cluster` -- the parent-side
+  :class:`~repro.transport.cluster.TransportCluster` adapter implementing the
+  ``DedupeCluster`` surface over the workers, with one-deep request
+  pipelining and replica failover.
+
+Select with ``SigmaDedupe(transport="process")`` or
+``REPRO_NODE_TRANSPORT=process``; results are byte-identical to the
+in-process default (see ``tests/test_transport_properties.py``).
+"""
+
+from repro.transport.cluster import (
+    ENV_NODE_TRANSPORT,
+    ENV_START_METHOD,
+    NodeProxy,
+    PendingBackup,
+    PendingCall,
+    TransportCluster,
+    TransportReplication,
+)
+from repro.transport.worker import ENV_WORKER_MARKER, NodeWorker, WorkerSpec, node_worker_main
+
+__all__ = [
+    "ENV_NODE_TRANSPORT",
+    "ENV_START_METHOD",
+    "ENV_WORKER_MARKER",
+    "NodeProxy",
+    "NodeWorker",
+    "PendingBackup",
+    "PendingCall",
+    "TransportCluster",
+    "TransportReplication",
+    "WorkerSpec",
+    "node_worker_main",
+]

@@ -1,0 +1,365 @@
+"""The node worker: one ``DedupeNode`` per OS process, served over a socket.
+
+``node_worker_main`` is the process entry point (picklable for the ``spawn``
+start method): it builds the node (and, with replication enabled, its
+:class:`~repro.cluster.replication.ReplicaStore`) inside the worker process,
+binds an asyncio stream server on the spec's unix socket and answers the
+parent's RPCs.
+
+**FIFO dispatch is the correctness keystone.**  The parent holds exactly one
+connection per worker, and this server decodes and executes its requests
+strictly in arrival order.  That gives per-node sequential consistency: when
+the proxy pipelines super-chunk *k+1*'s routing queries behind super-chunk
+*k*'s store on the same connection, the queries are answered *after* the
+store mutated the node -- exactly the state a serial in-process caller would
+have observed -- while queries to *other* workers (separate processes,
+separate connections) genuinely overlap the store.  Pipelining therefore
+changes wall-clock, never results.
+
+Heavy ops run inline on the event loop: with a single connection there is
+nothing to keep responsive while the node's data plane executes, and inline
+execution is what makes FIFO trivial rather than queued.
+
+The worker exits when the parent's connection reaches EOF -- a vanished
+parent (SIGKILL, test crash) must never leave orphan workers behind (the CI
+teardown check asserts exactly this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.transport import wire
+from repro.errors import ReproError, TransportError
+
+ENV_WORKER_MARKER = "REPRO_TRANSPORT_WORKER"
+"""Set in every worker's initial environment (visible in ``/proc/<pid>/environ``)
+so the CI teardown check can find orphaned workers by inspection even though
+forked children share the parent's command line."""
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker process needs to host its node (picklable)."""
+
+    node_id: int
+    socket_path: str
+    node_config: Any  # NodeConfig; typed loosely to keep the spawn import light
+    replicate: bool = False
+
+
+def node_worker_main(spec: WorkerSpec) -> None:
+    """Process entry point: host ``spec.node_id`` behind ``spec.socket_path``."""
+    asyncio.run(_serve(spec))
+
+
+async def _serve(spec: WorkerSpec) -> None:
+    # Imports happen in the worker so a ``spawn``-started child pays them
+    # here, not at module pickle time.
+    from repro.cluster.replication import ReplicaStore, replica_backend_for
+    from repro.node.dedupe_node import DedupeNode
+
+    node = DedupeNode(spec.node_id, config=spec.node_config)
+    if spec.replicate:
+        node.container_store.track_seals = True
+        node.replica_store = ReplicaStore(
+            spec.node_id, backend=replica_backend_for(node)
+        )
+    worker = NodeWorker(node)
+    try:
+        os.unlink(spec.socket_path)
+    except FileNotFoundError:
+        pass
+    server = await asyncio.start_unix_server(
+        worker.handle_connection, path=spec.socket_path
+    )
+    async with server:
+        await worker.closed.wait()
+    node.close()
+
+
+class NodeWorker:
+    """Serves one node's RPCs from an asyncio stream server (FIFO per
+    connection; the parent holds exactly one connection)."""
+
+    def __init__(self, node: Any):
+        self.node = node
+        self.closed = asyncio.Event()
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self.closed.is_set():
+                try:
+                    header, frames, _nbytes = await wire.read_message_async(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    # Parent is gone (or closed us deliberately): no parent
+                    # means no work and nobody to clean us up -- exit.
+                    self.closed.set()
+                    break
+                response_header, response_frames = self._dispatch(header, frames)
+                response_header["id"] = header.get("id")
+                wire.write_message(writer, response_header, response_frames)
+                await writer.drain()
+                if header.get("op") == "shutdown":
+                    self.closed.set()
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        op = str(header.get("op", ""))
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return (
+                wire.error_header(TransportError(f"unknown transport op {op!r}")),
+                [],
+            )
+        try:
+            return handler(header, frames)
+        except ReproError as exc:
+            return wire.error_header(exc), []
+        except Exception as exc:  # pragma: no cover - defensive: never kill the loop
+            return wire.error_header(exc), []
+
+    # -- routing-plane ops -------------------------------------------- #
+
+    def _op_ping(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        return {"ok": True, "node_id": self.node.node_id, "pid": os.getpid()}, []
+
+    def _op_usage(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        return {"ok": True, "value": self.node.storage_usage}, []
+
+    def _op_resemblance(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        from repro.fingerprint.handprint import Handprint
+
+        fingerprints = wire.unpack_bytes_seq(frames[0], frames[1])
+        handprint = Handprint(representative_fingerprints=tuple(fingerprints))
+        return {"ok": True, "value": self.node.resemblance_query(handprint)}, []
+
+    def _op_sample(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        fingerprints = wire.unpack_bytes_seq(frames[0], frames[1])
+        value = self._sample_match_count(fingerprints)
+        return {"ok": True, "value": value}, []
+
+    def _sample_match_count(self, fingerprints: Sequence[bytes]) -> int:
+        # Mirrors DedupeCluster.sample_match_count: stats-free peeks, every
+        # occurrence of a matched fingerprint counts.
+        from repro.utils.stats import count_matched_occurrences
+
+        node = self.node
+        distinct = set(fingerprints)
+        matched = node.disk_index.peek_many(distinct)
+        remaining = distinct - matched
+        if remaining:
+            matched |= node.fingerprint_cache.peek_many(remaining)
+        return count_matched_occurrences(list(fingerprints), distinct, matched)
+
+    # -- backup plane -------------------------------------------------- #
+
+    def _op_backup(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        from repro.core.superchunk import SuperChunk
+        from repro.fingerprint.handprint import Handprint
+
+        records, handprint_fps = wire.decode_superchunk_frames(header, frames)
+        superchunk = SuperChunk(
+            chunks=records,
+            handprint=Handprint(representative_fingerprints=tuple(handprint_fps)),
+            stream_id=int(header.get("stream_id", 0)),
+            sequence_number=int(header.get("sequence_number", 0)),
+        )
+        result = self.node.backup_superchunk(superchunk)
+        loc_fps = list(result.chunk_locations.keys())
+        loc_blob, loc_lengths = wire.pack_bytes_seq(loc_fps)
+        loc_containers = wire.pack_u64_seq(
+            [result.chunk_locations[fp] for fp in loc_fps]
+        )
+        response = {
+            "ok": True,
+            "unique_chunks": result.unique_chunks,
+            "duplicate_chunks": result.duplicate_chunks,
+            "unique_bytes": result.unique_bytes,
+            "duplicate_bytes": result.duplicate_bytes,
+        }
+        return response, [loc_blob, loc_lengths, loc_containers]
+
+    def _op_flush(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        self.node.flush()
+        return {"ok": True}, []
+
+    # -- restore plane ------------------------------------------------- #
+
+    def _op_read(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        fingerprints = wire.unpack_bytes_seq(frames[0], frames[1])
+        container_ids = header.get("container_ids", [])
+        requests: List[Tuple[bytes, Optional[int]]] = [
+            (fingerprint, None if container_id is None else int(container_id))
+            for fingerprint, container_id in zip(fingerprints, container_ids)
+        ]
+        chunks = self.node.read_chunks(requests)
+        return {"ok": True}, list(chunks)
+
+    def _op_replica_read(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        fingerprints = wire.unpack_bytes_seq(frames[0], frames[1])
+        container_ids = [int(value) for value in header.get("container_ids", [])]
+        origin = int(header["origin"])
+        store = self.node.replica_store
+        if store is None:
+            return {"ok": True, "missing": list(range(len(fingerprints)))}, []
+        found = store.read_chunks(origin, list(zip(fingerprints, container_ids)))
+        missing = [index for index, chunk in enumerate(found) if chunk is None]
+        present = [chunk for chunk in found if chunk is not None]
+        return {"ok": True, "missing": missing}, present
+
+    # -- replication plane --------------------------------------------- #
+
+    def _op_drain_sealed(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        return {"ok": True, "sealed": self.node.container_store.drain_sealed()}, []
+
+    def _op_sealed_ids(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        store = self.node.container_store
+        sealed = [
+            container_id
+            for container_id in store.container_ids()
+            if store.get(container_id).sealed
+        ]
+        return {"ok": True, "ids": sorted(sealed)}, []
+
+    def _op_export_container(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        container = self.node.container_store.get(int(header["container_id"]))
+        entries = container.metadata_section()
+        # Slice the section directly (not through a memoryview): a file-backed
+        # section is an mmap the backend closes on its next load, so exported
+        # frames must own their bytes.  mmap/bytes slicing both copy.
+        section = container.payload_bytes()
+        fp_blob, fp_lengths = wire.pack_bytes_seq(
+            [entry.fingerprint for entry in entries]
+        )
+        parts: List[wire.Buffer] = [
+            section[entry.offset:entry.offset + entry.length] for entry in entries
+        ]
+        response = {
+            "ok": True,
+            "capacity": container.capacity,
+            "stream_id": container.stream_id,
+        }
+        return response, [fp_blob, fp_lengths, *parts]
+
+    def _op_store_replica(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        from repro.cluster.replication import REPLICA_ID_STRIDE
+        from repro.storage.container import Container, ContainerMetadataEntry
+
+        store = self.node.replica_store
+        if store is None:
+            raise TransportError(f"node {self.node.node_id} hosts no replica store")
+        origin = int(header["origin"])
+        container_id = int(header["container_id"])
+        fingerprints = wire.unpack_bytes_seq(frames[0], frames[1])
+        parts = [bytes(frame) for frame in frames[2:]]
+        entries: List[ContainerMetadataEntry] = []
+        offset = 0
+        for fingerprint, part in zip(fingerprints, parts):
+            entries.append(
+                ContainerMetadataEntry(
+                    fingerprint=fingerprint, offset=offset, length=len(part)
+                )
+            )
+            offset += len(part)
+        clone = Container.from_recovered(
+            container_id=origin * REPLICA_ID_STRIDE + container_id,
+            capacity=int(header["capacity"]),
+            stream_id=int(header["stream_id"]),
+            entries=entries,
+            parts=parts,
+        )
+        store.adopt(origin, container_id, clone)
+        return {"ok": True}, []
+
+    def _op_replica_stats(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        store = self.node.replica_store
+        if store is None:
+            return {"ok": True, "containers": 0, "bytes": 0}, []
+        return (
+            {
+                "ok": True,
+                "containers": store.container_count(),
+                "bytes": store.snapshot_bytes(),
+            },
+            [],
+        )
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _op_mark_down(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        self.node.mark_down()
+        return {"ok": True}, []
+
+    def _op_mark_up(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        self.node.mark_up()
+        return {"ok": True}, []
+
+    def _op_recover(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        recovery = self.node.recover_storage(
+            handprint_size=int(header.get("handprint_size", 8)),
+            verify_data=bool(header.get("verify_data", True)),
+        )
+        summary = {
+            "containers": len(recovery.containers),
+            "recovered_bytes": recovery.recovered_bytes,
+            "recovered_chunks": recovery.recovered_chunks,
+            "records_discarded": recovery.records_discarded,
+            "records_dropped": recovery.records_dropped,
+            "orphans_removed": len(recovery.orphans_removed),
+        }
+        return {"ok": True, "summary": summary}, []
+
+    def _op_describe(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        return {"ok": True, "describe": self.node.describe()}, []
+
+    def _op_shutdown(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        return {"ok": True}, []

@@ -194,7 +194,9 @@ class TestNodeLevelEquivalence:
                 assert batched.read_chunk(chunk.fingerprint) == chunk.data
 
 
-def run_cluster_session(tmp_path=None, batch_execution=True, storage_dir=None, workers=None):
+def run_cluster_session(
+    tmp_path=None, batch_execution=True, storage_dir=None, workers=None, transport=None
+):
     """One multi-generation backup+restore session against a full cluster."""
     node_config = NodeConfig(container_capacity=64 * 1024, batch_execution=batch_execution)
     framework = SigmaDedupe(
@@ -205,31 +207,40 @@ def run_cluster_session(tmp_path=None, batch_execution=True, storage_dir=None, w
         node_config=node_config,
         storage_dir=storage_dir,
         workers=workers,
+        transport=transport,
     )
-    rng = random.Random(1337)
-    files = [
-        (f"dir/file-{index}.bin", rng.randbytes(48 * 1024)) for index in range(4)
-    ]
-    reports = [framework.backup(files, session_label="gen-0")]
-    for generation in (1, 2):
-        edited = []
-        for path, data in files:
-            buffer = bytearray(data)
-            offset = rng.randrange(0, len(buffer) - 2048)
-            buffer[offset:offset + 2048] = rng.randbytes(2048)
-            edited.append((path, bytes(buffer)))
-        files = edited
-        reports.append(framework.backup(files, session_label=f"gen-{generation}"))
-    restored = {
-        path: data for path, data in framework.restore_session(reports[-1].session_id)
-    }
-    return {
-        "reports": reports,
-        "cluster_describe": framework.describe(),
-        "node_describes": [node.describe() for node in framework.cluster.nodes],
-        "restored": restored,
-        "expected": dict(files),
-    }
+    try:
+        rng = random.Random(1337)
+        files = [
+            (f"dir/file-{index}.bin", rng.randbytes(48 * 1024)) for index in range(4)
+        ]
+        reports = [framework.backup(files, session_label="gen-0")]
+        for generation in (1, 2):
+            edited = []
+            for path, data in files:
+                buffer = bytearray(data)
+                offset = rng.randrange(0, len(buffer) - 2048)
+                buffer[offset:offset + 2048] = rng.randbytes(2048)
+                edited.append((path, bytes(buffer)))
+            files = edited
+            reports.append(framework.backup(files, session_label=f"gen-{generation}"))
+        restored = {
+            path: data for path, data in framework.restore_session(reports[-1].session_id)
+        }
+        cluster = framework.cluster
+        if hasattr(cluster, "node_describes"):
+            node_describes = cluster.node_describes()
+        else:
+            node_describes = [node.describe() for node in cluster.nodes]
+        return {
+            "reports": reports,
+            "cluster_describe": framework.describe(),
+            "node_describes": node_describes,
+            "restored": restored,
+            "expected": dict(files),
+        }
+    finally:
+        framework.close()
 
 
 class TestClusterLevelEquivalence:
@@ -291,3 +302,40 @@ class TestParallelIngestEquivalence:
         assert serial["reports"] == parallel["reports"]
         assert serial["node_describes"] == parallel["node_describes"]
         assert parallel["restored"] == parallel["expected"]
+
+
+class TestProcessTransportEquivalence:
+    """The multiprocess node plane must be invisible too: the same session
+    over ``transport="process"`` (per-node worker processes behind the binary
+    RPC transport, with the one-deep pipelined backup loop) matches the
+    in-process default on every observable surface -- and the in-process
+    default remains exactly what it was."""
+
+    def test_process_transport_matches_inproc_memory_backend(self):
+        inproc = run_cluster_session()
+        process = run_cluster_session(transport="process")
+        assert inproc["reports"] == process["reports"]
+        assert inproc["cluster_describe"] == process["cluster_describe"]
+        assert inproc["node_describes"] == process["node_describes"]
+        assert process["restored"] == process["expected"]
+        assert inproc["restored"] == process["restored"]
+
+    def test_process_transport_matches_inproc_file_backend(self, tmp_path):
+        inproc = run_cluster_session(storage_dir=str(tmp_path / "inproc"))
+        process = run_cluster_session(
+            storage_dir=str(tmp_path / "process"), transport="process"
+        )
+        assert inproc["reports"] == process["reports"]
+        assert inproc["cluster_describe"] == process["cluster_describe"]
+        assert inproc["node_describes"] == process["node_describes"]
+        assert process["restored"] == process["expected"]
+
+    def test_inproc_default_is_unchanged(self):
+        # The default transport stays in-process and byte-identical to an
+        # explicit transport="inproc" request (and never spawns workers).
+        default = run_cluster_session()
+        explicit = run_cluster_session(transport="inproc")
+        assert default["reports"] == explicit["reports"]
+        assert default["cluster_describe"] == explicit["cluster_describe"]
+        assert default["node_describes"] == explicit["node_describes"]
+        assert default["restored"] == explicit["restored"]

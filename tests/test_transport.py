@@ -1,0 +1,404 @@
+"""The multiprocess node plane: wire protocol, RPC cluster, crash failover.
+
+Covers the three layers of :mod:`repro.transport`:
+
+* the length-prefixed wire format (header + zero-copy frame trains);
+* the :class:`~repro.transport.cluster.TransportCluster` RPC surface against
+  live worker processes, including wire-level message accounting and the
+  pipelined send path;
+* the lifecycle acceptance path: a SIGKILLed worker is detected as a lost
+  connection, restore reads fail over to ring replicas under the
+  :class:`~repro.cluster.replication.FailoverPolicy`, and the restarted
+  worker recovers its spill tree and rejoins -- plus deterministic RPC
+  drop/delay injection through :class:`~repro.faults.FaultPlan`.
+"""
+
+import os
+import signal
+import socket
+
+import pytest
+
+from repro.cluster.cluster import DedupeCluster
+from repro.cluster.message import MessageType
+from repro.core.framework import SigmaDedupe
+from repro.errors import (
+    NodeUnavailableError,
+    TransportError,
+    ValidationError,
+    WireProtocolError,
+)
+from repro.faults.plan import FaultPlan, NodeDownWindow
+from repro.node.dedupe_node import NodeConfig
+from repro.transport import TransportCluster, wire
+from tests.helpers import chunk_records_from_seeds, superchunk_from_seeds
+
+
+# ------------------------------------------------------------------ #
+# wire protocol
+# ------------------------------------------------------------------ #
+
+
+class TestWireProtocol:
+    def test_message_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            frames = [b"alpha", b"", b"b" * 10_000]
+            sent = wire.send_message(left, {"op": "demo", "id": 7}, frames)
+            header, received, nbytes = wire.recv_message(right)
+            assert header == {"op": "demo", "id": 7}
+            assert [bytes(frame) for frame in received] == frames
+            encoded = wire.encode_message({"op": "demo", "id": 7}, frames)
+            assert sent == nbytes == wire.message_size(encoded)
+        finally:
+            left.close()
+            right.close()
+
+    def test_packed_sequences_round_trip(self):
+        items = [b"", b"x", b"fingerprint-20-bytes", b"y" * 300]
+        blob, lengths = wire.pack_bytes_seq(items)
+        assert wire.unpack_bytes_seq(blob, lengths) == items
+        values = [0, 1, 2**40, 2**63]
+        assert wire.unpack_u64_seq(wire.pack_u64_seq(values)) == values
+
+    def test_superchunk_frames_round_trip(self):
+        records = chunk_records_from_seeds([1, 2, 3], length=128)
+        # A routed super-chunk ships duplicate chunks by fingerprint only
+        # (data=None): the absent list restores their lengths without bytes.
+        records[1] = records[1]._replace(data=None)
+        handprint_fps = [records[0].fingerprint, records[2].fingerprint]
+        header, frames = wire.encode_superchunk_frames(records, handprint_fps)
+        decoded, decoded_hp = wire.decode_superchunk_frames(header, frames)
+        assert decoded_hp == handprint_fps
+        assert [record.fingerprint for record in decoded] == [
+            record.fingerprint for record in records
+        ]
+        assert [record.length for record in decoded] == [
+            record.length for record in records
+        ]
+        assert decoded[0].data == records[0].data
+        assert decoded[1].data is None
+        assert decoded[2].data == records[2].data
+
+    def test_error_header_round_trips_taxonomy_class(self):
+        header = wire.error_header(NodeUnavailableError("node 3 is dark"))
+        assert header == {
+            "ok": False,
+            "error": "NodeUnavailableError",
+            "message": "node 3 is dark",
+        }
+        with pytest.raises(NodeUnavailableError, match="node 3 is dark"):
+            wire.raise_remote_error(header)
+
+    def test_unknown_remote_error_falls_back_to_transport_error(self):
+        with pytest.raises(TransportError):
+            wire.raise_remote_error(
+                {"ok": False, "error": "NotARealError", "message": "?"}
+            )
+
+    def test_oversized_header_is_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            prefix = wire.PREFIX.pack(wire.MAX_HEADER_BYTES + 1, 0)
+            left.sendall(prefix)
+            with pytest.raises(WireProtocolError):
+                wire.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+
+# ------------------------------------------------------------------ #
+# the RPC cluster surface
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture
+def small_cluster():
+    cluster = TransportCluster(num_nodes=2)
+    yield cluster
+    cluster.close()
+
+
+class TestTransportCluster:
+    def test_routing_queries_match_inproc(self, small_cluster):
+        inproc = DedupeCluster(num_nodes=2)
+        superchunk = superchunk_from_seeds([1, 2, 3, 4], handprint_size=4)
+        for cluster in (inproc, small_cluster):
+            cluster.backup_superchunk(superchunk)
+            cluster.flush()
+        fingerprints = [chunk.fingerprint for chunk in superchunk.chunks]
+        for node_id in range(2):
+            assert small_cluster.resemblance_query(
+                node_id, superchunk.handprint
+            ) == inproc.resemblance_query(node_id, superchunk.handprint)
+            assert small_cluster.sample_match_count(
+                node_id, fingerprints
+            ) == inproc.sample_match_count(node_id, fingerprints)
+            assert small_cluster.node_storage_usage(
+                node_id
+            ) == inproc.node_storage_usage(node_id)
+
+    def test_wire_accounting_counts_real_messages_and_bytes(self, small_cluster):
+        superchunk = superchunk_from_seeds([5, 6, 7], handprint_size=4)
+        small_cluster.backup_superchunk(superchunk)
+        small_cluster.flush()
+        messages = small_cluster.messages
+        wire_dimension = messages.wire_as_dict()
+        # Every RPC is two wire messages (request + response), each with
+        # nonzero framing bytes; the backup op carries the chunk payloads.
+        assert messages.total_wire_messages >= 4
+        assert messages.total_wire_bytes > superchunk.logical_size
+        assert wire_dimension["messages"]["after_routing"] == 2
+        assert wire_dimension["bytes"]["after_routing"] > superchunk.logical_size
+        assert wire_dimension["messages"]["control"] >= 2  # ping + flush
+        # The logical dimension stays what the in-process cluster records.
+        assert messages.get(MessageType.AFTER_ROUTING) == superchunk.chunk_count
+
+    def test_unknown_op_raises_transport_error(self, small_cluster):
+        with pytest.raises(TransportError, match="unknown transport op"):
+            small_cluster.node_proxies[0].call("no_such_op")
+
+    def test_pipelined_sends_resolve_in_fifo_order(self, small_cluster):
+        proxy = small_cluster.node_proxies[0]
+        pending = [proxy.send("ping") for _ in range(5)]
+        headers = [call.result()[0] for call in pending]
+        assert [header["id"] for header in headers] == sorted(
+            header["id"] for header in headers
+        )
+
+    def test_close_reaps_workers_and_runtime_dir(self):
+        cluster = TransportCluster(num_nodes=2)
+        processes = [proxy.process for proxy in cluster.node_proxies]
+        runtime_dir = cluster._runtime_dir
+        cluster.close()
+        assert not os.path.exists(runtime_dir)
+        for process in processes:
+            assert not process.is_alive()
+        cluster.close()  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TransportCluster(num_nodes=0)
+        with pytest.raises(ValidationError):
+            TransportCluster(num_nodes=2, replication_factor=3)
+        with pytest.raises(ValidationError):
+            SigmaDedupe(num_nodes=1, transport="carrier-pigeon")
+
+
+# ------------------------------------------------------------------ #
+# crash, failover, restart: the lifecycle acceptance path
+# ------------------------------------------------------------------ #
+
+
+def ingest_tracked(cluster, seeds_groups, length=256):
+    """Back up super-chunks and track (node, container, data) per chunk."""
+    stored = {}
+    for seeds in seeds_groups:
+        superchunk = superchunk_from_seeds(
+            seeds, handprint_size=4, length=length
+        )
+        result = cluster.backup_superchunk(superchunk)
+        for chunk in superchunk.chunks:
+            stored[chunk.fingerprint] = (
+                result.node_id,
+                result.chunk_locations[chunk.fingerprint],
+                chunk.data,
+            )
+    cluster.flush()
+    return stored
+
+
+class TestWorkerCrashFailover:
+    def test_sigkill_worker_failover_and_restart_recovers(self, tmp_path):
+        """The ISSUE's acceptance scenario: kill -9 a worker mid-session,
+        reads fail over to replicas, the worker restarts, recovers its spill
+        tree via the journal and serves direct reads again."""
+        cluster = TransportCluster(
+            num_nodes=3,
+            node_config=NodeConfig(container_capacity=4096, container_backend="file"),
+            storage_dir=str(tmp_path),
+            replication_factor=2,
+        )
+        try:
+            stored = ingest_tracked(
+                cluster, [[index * 10 + offset for offset in range(6)] for index in range(8)]
+            )
+            victim = next(
+                node_id
+                for node_id in range(3)
+                if any(entry[0] == node_id for entry in stored.values())
+            )
+            victim_requests = [
+                (fingerprint, container_id)
+                for fingerprint, (node_id, container_id, _data) in stored.items()
+                if node_id == victim
+            ]
+            expected = [
+                data
+                for _fingerprint, (node_id, _container_id, data) in stored.items()
+                if node_id == victim
+            ]
+
+            os.kill(cluster.worker_process(victim).pid, signal.SIGKILL)
+            cluster.worker_process(victim).join(timeout=10)
+            assert not cluster.worker_process(victim).is_alive()
+
+            # Reads against the dead worker transparently fail over.
+            assert cluster.read_chunks(victim, victim_requests) == expected
+            assert cluster.replication.failover_reads == len(expected)
+
+            # Restart over the same storage dir: journal replay brings the
+            # node's containers back, then direct reads serve again.
+            summary = cluster.restart_node(victim)
+            assert summary["containers"] > 0
+            assert summary["recovered_chunks"] > 0
+            assert cluster.worker_process(victim).is_alive()
+            assert cluster.read_chunks(victim, victim_requests) == expected
+            # Failover count unchanged: the post-restart reads were direct.
+            assert cluster.replication.failover_reads == len(expected)
+        finally:
+            cluster.close()
+
+    def test_sigkill_without_replicas_raises_node_unavailable(self, tmp_path):
+        cluster = TransportCluster(
+            num_nodes=2,
+            node_config=NodeConfig(container_capacity=4096, container_backend="file"),
+            storage_dir=str(tmp_path),
+        )
+        try:
+            stored = ingest_tracked(cluster, [[1, 2, 3], [4, 5, 6]])
+            victim = next(iter(stored.values()))[0]
+            os.kill(cluster.worker_process(victim).pid, signal.SIGKILL)
+            cluster.worker_process(victim).join(timeout=10)
+            requests = [
+                (fingerprint, value[1])
+                for fingerprint, value in stored.items()
+                if value[0] == victim
+            ]
+            with pytest.raises(NodeUnavailableError):
+                cluster.read_chunks(victim, requests)
+        finally:
+            cluster.close()
+
+    def test_marked_down_node_fails_over_and_recovers_on_up(self, tmp_path):
+        cluster = TransportCluster(
+            num_nodes=3,
+            node_config=NodeConfig(container_capacity=4096, container_backend="file"),
+            storage_dir=str(tmp_path),
+            replication_factor=2,
+        )
+        try:
+            stored = ingest_tracked(cluster, [[7, 8, 9], [10, 11, 12], [13, 14, 15]])
+            victim = next(iter(stored.values()))[0]
+            requests = [
+                (fingerprint, value[1])
+                for fingerprint, value in stored.items()
+                if value[0] == victim
+            ]
+            expected = [
+                value[2] for value in stored.values() if value[0] == victim
+            ]
+            cluster.mark_node_down(victim)
+            assert cluster.read_chunks(victim, requests) == expected
+            assert cluster.replication.failover_reads == len(expected)
+            cluster.mark_node_up(victim)
+            assert cluster.read_chunks(victim, requests) == expected
+            assert cluster.replication.failover_reads == len(expected)
+        finally:
+            cluster.close()
+
+
+# ------------------------------------------------------------------ #
+# deterministic RPC fault injection
+# ------------------------------------------------------------------ #
+
+
+class TestTransportFaults:
+    def test_drop_rpc_is_retried_deterministically(self, tmp_path):
+        cluster = TransportCluster(
+            num_nodes=2,
+            node_config=NodeConfig(container_capacity=4096, container_backend="file"),
+            storage_dir=str(tmp_path),
+        )
+        try:
+            stored = ingest_tracked(cluster, [[21, 22, 23], [24, 25, 26]])
+            node_id = next(iter(stored.values()))[0]
+            requests = [
+                (fingerprint, value[1])
+                for fingerprint, value in stored.items()
+                if value[0] == node_id
+            ]
+            expected = [
+                value[2] for value in stored.values() if value[0] == node_id
+            ]
+            # RPC 1 is dropped before it is sent; the bounded-retry plane
+            # resends it as RPC 2, which succeeds.  RPC 2 also carries an
+            # injected delay, exercising the slow-link path.
+            plan = FaultPlan(drop_rpc=[1], delay_rpc=[(2, 0.01)])
+            assert plan.install(cluster) == 1
+            assert cluster.read_chunks(node_id, requests) == expected
+            assert plan.rpcs_seen == 2
+            assert plan.dropped_rpcs == 1
+            cluster.install_fault_hook(None)
+        finally:
+            cluster.close()
+
+    def test_all_rpcs_dropped_fails_over_to_replicas(self, tmp_path):
+        cluster = TransportCluster(
+            num_nodes=3,
+            node_config=NodeConfig(container_capacity=4096, container_backend="file"),
+            storage_dir=str(tmp_path),
+            replication_factor=2,
+        )
+        try:
+            stored = ingest_tracked(cluster, [[31, 32, 33], [34, 35, 36]])
+            node_id = next(iter(stored.values()))[0]
+            requests = [
+                (fingerprint, value[1])
+                for fingerprint, value in stored.items()
+                if value[0] == node_id
+            ]
+            expected = [
+                value[2] for value in stored.values() if value[0] == node_id
+            ]
+            # Drop every direct-read attempt (max_retries=2 means 3 sends);
+            # the batch must still be served -- from the replica chain.
+            plan = FaultPlan(drop_rpc=[1, 2, 3])
+            plan.install(cluster)
+            assert cluster.read_chunks(node_id, requests) == expected
+            assert plan.dropped_rpcs == 3
+            assert cluster.replication.failover_reads == len(expected)
+        finally:
+            cluster.close()
+
+    def test_nodes_down_window_routes_reads_to_replicas(self, tmp_path):
+        cluster = TransportCluster(
+            num_nodes=3,
+            node_config=NodeConfig(container_capacity=4096, container_backend="file"),
+            storage_dir=str(tmp_path),
+            replication_factor=2,
+        )
+        try:
+            stored = ingest_tracked(cluster, [[41, 42, 43], [44, 45, 46]])
+            node_id = next(iter(stored.values()))[0]
+            requests = [
+                (fingerprint, value[1])
+                for fingerprint, value in stored.items()
+                if value[0] == node_id
+            ]
+            expected = [
+                value[2] for value in stored.values() if value[0] == node_id
+            ]
+            plan = FaultPlan(
+                node_down_windows=[NodeDownWindow(node_id=node_id, start_op=0, end_op=1)]
+            )
+            plan.install(cluster)
+            # Op 0: inside the window -> replica reads.  Op 1: window over,
+            # direct reads resume against the (healthy) worker.
+            assert cluster.read_chunks(node_id, requests) == expected
+            assert cluster.replication.failover_reads == len(expected)
+            assert cluster.read_chunks(node_id, requests) == expected
+            assert cluster.replication.failover_reads == len(expected)
+        finally:
+            cluster.close()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Standalone CI check: the process transport must clean up after itself.
+
+Runs the transport test suites in a child interpreter tagged with a unique
+token, then audits the machine for anything they leaked:
+
+* **orphaned workers** -- any surviving process whose ``/proc/<pid>/cmdline``
+  or ``/proc/<pid>/environ`` carries the token.  Forked workers inherit the
+  pytest process's exec-time snapshot, so the token is planted in *both* the
+  command line (visible in forked children) and the environment (visible in
+  spawned children); the ``REPRO_TRANSPORT_WORKER`` marker is reported too
+  when it identifies a worker directly.
+* **runtime directories** -- leftover ``repro-transport-*`` trees (worker
+  sockets and auto-claimed storage) under the temp dir.
+* **shared memory** -- a ``/dev/shm`` diff against the pre-run snapshot.
+
+Exits non-zero on test failure or any leak, printing what leaked.  Run it
+from the repository root:
+
+    PYTHONPATH=src python tests/transport_teardown_check.py
+"""
+
+import glob
+import os
+import subprocess
+import sys
+import tempfile
+import uuid
+
+SUITES = ["tests/test_transport.py", "tests/test_transport_properties.py"]
+WORKER_MARKER = b"REPRO_TRANSPORT_WORKER"
+
+
+def shm_entries():
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+def runtime_dirs():
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-transport-*")))
+
+
+def tagged_processes(token):
+    """PIDs whose exec-time cmdline or environ carries ``token``."""
+    tagged = []
+    needle = token.encode()
+    for proc_dir in glob.glob("/proc/[0-9]*"):
+        pid = int(os.path.basename(proc_dir))
+        if pid == os.getpid():
+            continue
+        blob = b""
+        for name in ("cmdline", "environ"):
+            try:
+                with open(os.path.join(proc_dir, name), "rb") as handle:
+                    blob += handle.read()
+            except OSError:
+                continue
+        if needle in blob:
+            marked = WORKER_MARKER in blob
+            tagged.append((pid, marked))
+    return tagged
+
+
+def main():
+    token = f"repro-teardown-{uuid.uuid4().hex}"
+    env = dict(os.environ)
+    env["REPRO_TEARDOWN_TOKEN"] = token
+    env.setdefault("PYTHONPATH", "src")
+
+    shm_before = shm_entries()
+    dirs_before = runtime_dirs()
+
+    # The cache_dir override is a no-op for pytest but plants the token in
+    # the child's command line, which forked workers inherit verbatim.
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-x",
+        "-q",
+        *SUITES,
+        "-o",
+        f"cache_dir={os.path.join(tempfile.gettempdir(), token)}",
+    ]
+    print(f"[teardown-check] running: {' '.join(command)}")
+    result = subprocess.run(command, env=env)
+    if result.returncode != 0:
+        print(f"[teardown-check] FAIL: test run exited {result.returncode}")
+        return result.returncode
+
+    failures = []
+    orphans = tagged_processes(token)
+    if orphans:
+        for pid, marked in orphans:
+            kind = "worker (marker present)" if marked else "process"
+            failures.append(f"orphaned {kind} pid {pid} still carries the run token")
+    leaked_dirs = runtime_dirs() - dirs_before
+    if leaked_dirs:
+        failures.append(f"leaked runtime dirs: {sorted(leaked_dirs)}")
+    leaked_shm = shm_entries() - shm_before
+    if leaked_shm:
+        failures.append(f"leaked /dev/shm entries: {sorted(leaked_shm)}")
+
+    if failures:
+        for failure in failures:
+            print(f"[teardown-check] FAIL: {failure}")
+        return 1
+    print(
+        "[teardown-check] PASS: no orphaned workers, no leaked runtime dirs, "
+        "no leaked shared memory"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
