@@ -155,6 +155,20 @@ class AcceleratedGearChunker(GearChunker):
     # vectorised scan: sorted mask-hit positions + strict classification
     # ------------------------------------------------------------------ #
 
+    def scan_mask_hits(
+        self, data: "bytes | bytearray | memoryview"
+    ) -> Tuple[int, int]:
+        """Run only the vectorised boundary scan; no chunk walk.
+
+        Returns ``(loose_hits, strict_hits)`` over the whole buffer.  This is
+        the public stage hook the ingest benchmark uses to time the raw mask
+        scan separately from the speculative candidate walk
+        (:meth:`cut_offsets` = scan + walk + warm-up verification).
+        """
+        arr = _np.frombuffer(data, dtype=_np.uint8)
+        positions, strict = self._mask_hits(arr)
+        return int(positions.size), int(strict.sum())
+
     def _mask_hits(self, arr) -> Tuple["_np.ndarray", "_np.ndarray"]:
         """``(positions, strict)`` for the full-window fingerprint scan.
 

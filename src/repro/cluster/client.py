@@ -10,8 +10,9 @@ transfer, and only the unique data chunks are transferred over the network."
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
@@ -19,9 +20,16 @@ from repro.cluster.recipe import ChunkLocation
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
 from repro.core.superchunk import SuperChunk
 from repro.fingerprint.fingerprinter import ChunkRecord
+from repro.errors import ValidationError
 from repro.node.dedupe_node import SuperChunkBackupResult
 from repro.parallel.engine import ParallelIngestEngine, resolve_workers
 from repro.routing.base import RoutingDecision
+
+DEFAULT_PIPELINE_DEPTH = 4
+"""How many pipelined super-chunk stores may be in flight at once against a
+transport that supports ``backup_superchunk_send``.  Per-node FIFO dispatch
+keeps any depth byte-identical to serial; 4 is deep enough to keep every
+worker of a small cluster busy without unbounded settle latency."""
 
 if TYPE_CHECKING:
     from repro.transport.cluster import PendingBackup, TransportCluster
@@ -77,7 +85,14 @@ class BackupClient:
     parallel_executor:
         Lane execution model when ``workers > 1``: ``"thread"`` (default;
         the accelerated chunkers and ``hashlib`` release the GIL) or
-        ``"process"`` (for the pure-Python chunker fallback).
+        ``"process"`` (shared-memory slab lanes that also escape the GIL for
+        the per-chunk Python bookkeeping).
+    pipeline_depth:
+        Bounded in-flight window against a transport exposing
+        ``backup_superchunk_send``: up to this many super-chunk stores ride
+        the wire unsettled while later super-chunks are routed.  Per-node
+        FIFO dispatch makes any depth byte-identical to depth 1; only
+        wall-clock changes.  Ignored by eager (in-process) clusters.
     """
 
     def __init__(
@@ -88,13 +103,19 @@ class BackupClient:
         partitioner_config: Optional[PartitionerConfig] = None,
         workers: Optional[int] = None,
         parallel_executor: str = "thread",
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     ):
+        if pipeline_depth < 1:
+            raise ValidationError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         self.client_id = client_id
         self.cluster = cluster
         self.director = director
         self.partitioner = StreamPartitioner(partitioner_config)
         self.workers = workers
         self.parallel_executor = parallel_executor
+        self.pipeline_depth = pipeline_depth
 
     def _partition(
         self, files: Iterable[Tuple[str, FilePayload]], stream_id: int, workers: Optional[int]
@@ -105,7 +126,21 @@ class BackupClient:
         effective = resolve_workers(workers if workers is not None else self.workers)
         if effective <= 1:
             return self.partitioner.partition_files(files, stream_id=stream_id)
-        engine = ParallelIngestEngine(workers=effective, executor=self.parallel_executor)
+        # Direct lane->wire hand-off: when shared-memory process lanes feed a
+        # process-transport cluster, payloads can stay zero-copy memoryview
+        # slices of the slabs all the way to sendmsg -- the synchronous wire
+        # send guarantees the kernel owns the bytes before any slab region is
+        # reused.  The in-process cluster retains payload references in its
+        # containers, so it must keep bytes copies.
+        hand_off = (
+            self.parallel_executor == "process"
+            and getattr(self.cluster, "transport", "inproc") == "process"
+        )
+        engine = ParallelIngestEngine(
+            workers=effective,
+            executor=self.parallel_executor,
+            payload_views=hand_off,
+        )
         return engine.partition_files(self.partitioner.config, files, stream_id=stream_id)
 
     def backup_files(
@@ -137,14 +172,16 @@ class BackupClient:
 
         # Transports that can ship a super-chunk without blocking on its
         # store expose ``backup_superchunk_send``; against one, the loop runs
-        # a one-deep pipeline -- super-chunk k+1 is routed (its lookup RPCs
-        # answered in connection FIFO order, i.e. after k's store on the
-        # target) while k's store executes in the worker.  Results are
+        # a bounded in-flight window of ``pipeline_depth`` stores -- super-
+        # chunks k+1..k+K are routed (their lookup RPCs answered in
+        # connection FIFO order, i.e. after k's store on the same target)
+        # while k's store executes in its worker, and stores bound for
+        # *different* workers genuinely overlap each other.  Results are
         # byte-identical to the eager path; only wall-clock overlaps.
         send = getattr(self.cluster, "backup_superchunk_send", None)
-        pending: Optional[
+        window: Deque[
             Tuple[SuperChunk, List[Tuple[str, List[ChunkRecord]]], "PendingBackup"]
-        ] = None
+        ] = deque()
 
         def settle(
             superchunk: SuperChunk,
@@ -174,20 +211,20 @@ class BackupClient:
                 ]
                 self.director.record_file_chunks(session.session_id, path, locations)
 
-        def resolve_pending() -> None:
-            nonlocal pending
-            if pending is None:
-                return
-            held_superchunk, held_contributions, handle = pending
-            pending = None
+        def settle_oldest() -> None:
+            held_superchunk, held_contributions, handle = window.popleft()
             settle(held_superchunk, held_contributions, handle.decision, handle.result())
+
+        def drain_window() -> None:
+            while window:
+                settle_oldest()
 
         for superchunk, contributions in self._partition(files, stream_id, workers):
             if superchunk is None:
                 # Trailing zero-byte files with no super-chunk to ride on:
                 # nothing to route, but their (empty) recipes must exist --
-                # after any in-flight super-chunk, to keep recipe order.
-                resolve_pending()
+                # after every in-flight super-chunk, to keep recipe order.
+                drain_window()
                 for path, _records in contributions:
                     self.director.record_file_chunks(session.session_id, path, [])
                 continue
@@ -196,9 +233,10 @@ class BackupClient:
                 result = self.cluster.backup_superchunk(superchunk, decision)
                 settle(superchunk, contributions, decision, result)
             else:
-                resolve_pending()
-                pending = (superchunk, contributions, send(superchunk, decision))
-        resolve_pending()
+                while len(window) >= self.pipeline_depth:
+                    settle_oldest()
+                window.append((superchunk, contributions, send(superchunk, decision)))
+        drain_window()
 
         report.files_backed_up = session.file_count
         self.cluster.flush()

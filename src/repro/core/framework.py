@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tupl
 from repro.chunking import build_chunker
 from repro.chunking.base import Chunker
 from repro.chunking.fixed import StaticChunker
-from repro.cluster.client import BackupClient, ClientBackupReport
+from repro.cluster.client import DEFAULT_PIPELINE_DEPTH, BackupClient, ClientBackupReport
 from repro.cluster.cluster import DedupeCluster
 from repro.cluster.director import Director
 from repro.cluster.replication import FailoverPolicy
@@ -115,6 +115,10 @@ class SigmaDedupe:
     parallel_executor:
         ``"thread"`` (default) or ``"process"`` lanes; see
         :class:`~repro.parallel.engine.ParallelIngestEngine`.
+    pipeline_depth:
+        Bounded in-flight store window for every backup client against a
+        pipelined transport (see :class:`~repro.cluster.client.BackupClient`);
+        ignored by the in-process cluster.
     transport:
         Node-plane transport: ``"inproc"`` (default) keeps every node in
         this process; ``"process"`` hosts each node in its own worker
@@ -138,6 +142,7 @@ class SigmaDedupe:
         container_compression: Optional[str] = None,
         workers: Optional[int] = None,
         parallel_executor: str = "thread",
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         replication_factor: int = 1,
         failover_policy: Optional[FailoverPolicy] = None,
         transport: Optional[str] = None,
@@ -191,6 +196,7 @@ class SigmaDedupe:
         )
         self.workers = workers
         self.parallel_executor = parallel_executor
+        self.pipeline_depth = pipeline_depth
         self._clients: Dict[str, BackupClient] = {}
 
     # ------------------------------------------------------------------ #
@@ -207,6 +213,7 @@ class SigmaDedupe:
                 partitioner_config=self._partitioner_config,
                 workers=self.workers,
                 parallel_executor=self.parallel_executor,
+                pipeline_depth=self.pipeline_depth,
             )
         return self._clients[client_id]
 

@@ -32,6 +32,12 @@ class FingerprintError(ReproError):
     """Raised for fingerprinting problems (unknown algorithm, bad digest)."""
 
 
+class ParallelLaneError(ReproError):
+    """Raised when a parallel ingest lane (thread or process) fails
+    structurally: a lane process died mid-file, a shared-memory slab could
+    not be created, or a lane returned a malformed reply."""
+
+
 class StorageError(ReproError):
     """Base class for errors in the storage substrate (containers, indexes)."""
 

@@ -8,9 +8,11 @@ about a half that of MD5" (Section 4.3); both are supported here.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, NamedTuple, Optional
+from struct import Struct
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, cast
 
 from repro.chunking.base import RawChunk
+from repro.errors import FingerprintError
 from repro.utils.hashing import digest_bytes, digest_constructor
 
 #: Chunks per bulk record-construction batch on the fused buffer path: large
@@ -81,6 +83,85 @@ def records_from_pairs(
         for fingerprint, length in pairs:
             append(record(fingerprint, length, offset, None))
             offset += length
+    return records
+
+
+#: Packed lane-reply layout: chunk count + digest size, then the ascending
+#: u64 end offsets, then the concatenated fixed-size fingerprints.
+_PACK_HEAD = Struct("!II")
+
+
+def pack_record_pairs(records: Sequence[ChunkRecord]) -> bytes:
+    """Pack records into a compact ``(end_offsets_u64, fingerprints_blob)``
+    byte string -- the shared-memory lane reply format.
+
+    Only end offsets and fingerprints travel (lengths and begin offsets are
+    recoverable from consecutive ends); payloads never do.  All fingerprints
+    must share one digest size, which holds for every supported algorithm.
+    """
+    count = len(records)
+    if count == 0:
+        return _PACK_HEAD.pack(0, 0)
+    digest_size = len(records[0].fingerprint)
+    ends: List[int] = []
+    end = records[0].offset
+    blob_parts: List[bytes] = []
+    for record in records:
+        if len(record.fingerprint) != digest_size:
+            raise FingerprintError(
+                "pack_record_pairs needs a uniform digest size, got "
+                f"{digest_size} and {len(record.fingerprint)}"
+            )
+        end += record.length
+        ends.append(end)
+        blob_parts.append(record.fingerprint)
+    return b"".join(
+        [
+            _PACK_HEAD.pack(count, digest_size),
+            Struct(f"!{count}Q").pack(*ends),
+            *blob_parts,
+        ]
+    )
+
+
+def records_from_packed(
+    data: "bytes | bytearray | memoryview",
+    packed: "bytes | memoryview",
+    keep_data: bool = True,
+    copy: bool = True,
+) -> List[ChunkRecord]:
+    """Rebuild full :class:`ChunkRecord` lists from a packed lane reply.
+
+    ``data`` is the same buffer the lane chunked (typically the parent's view
+    of the shared-memory slab).  With ``copy=True`` payloads are materialised
+    as ``bytes``; with ``copy=False`` they stay zero-copy ``memoryview``
+    slices of ``data`` -- only safe while the underlying slab region is
+    guaranteed untouched (the engine's hand-off mode enforces that with its
+    reuse frontier).
+    """
+    head = memoryview(packed)
+    count, digest_size = _PACK_HEAD.unpack_from(head, 0)
+    records: List[ChunkRecord] = []
+    if count == 0:
+        return records
+    ends = Struct(f"!{count}Q").unpack_from(head, _PACK_HEAD.size)
+    blob_base = _PACK_HEAD.size + 8 * count
+    view = memoryview(data)
+    record = ChunkRecord
+    append = records.append
+    offset = 0
+    fp_at = blob_base
+    for end in ends:
+        fingerprint = bytes(head[fp_at:fp_at + digest_size])
+        fp_at += digest_size
+        if not keep_data:
+            payload: Optional[bytes] = None
+        elif copy:
+            payload = bytes(view[offset:end])
+        else:
+            payload = cast(bytes, view[offset:end])
+        append(record(fingerprint, end - offset, offset, payload))
+        offset = end
     return records
 
 

@@ -42,13 +42,12 @@ from __future__ import annotations
 import os
 import threading
 from collections import deque
-from dataclasses import replace
 from queue import Empty, Full, Queue
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.partitioner import FilePayload, PartitionerConfig, StreamPartitioner
 from repro.core.superchunk import SuperChunk
-from repro.fingerprint.fingerprinter import ChunkRecord, records_from_pairs
+from repro.fingerprint.fingerprinter import ChunkRecord, records_from_packed
 from repro.errors import ValidationError
 
 ENV_INGEST_WORKERS = "REPRO_INGEST_WORKERS"
@@ -154,13 +153,25 @@ class ParallelIngestEngine:
         lane chunks while the consumer routes and stores), it just cannot
         overlap front-end work with itself.
     executor:
-        ``"thread"`` (default) or ``"process"``.  Threads suit the accelerated
-        chunkers and ``hashlib`` (both release the GIL); the process pool
-        suits the pure-Python chunkers, at the cost of materialising each
-        in-flight file's payload to picklable bytes.
+        ``"thread"`` (default) or ``"process"``.  Threads suit workloads
+        whose hot loops release the GIL; the process executor runs each lane
+        in its own OS process over per-lane shared-memory slabs
+        (:mod:`repro.parallel.shm`) -- input payloads are written into the
+        slab once, lanes chunk and fingerprint in place, and only compact
+        ``(offsets, fingerprints)`` replies cross the pipe, so the per-chunk
+        Python bookkeeping scales past the GIL without ever pickling payload
+        bytes.
     batch_bytes / queue_depth:
         Bounded-queue sizing; the per-lane buffered payload is about
         ``batch_bytes * queue_depth``.
+    payload_views:
+        Process executor only: hand payloads out as zero-copy ``memoryview``
+        slices of the shared slab instead of ``bytes`` copies.  Safe only
+        when every consumer is done with a super-chunk's payloads before the
+        engine has advanced one full super-chunk past it -- true for the
+        synchronous-send transport wire path (the lane->wire hand-off), not
+        for consumers that retain payload references (the in-process node
+        plane stores them).
     """
 
     def __init__(
@@ -169,6 +180,7 @@ class ParallelIngestEngine:
         executor: str = "thread",
         batch_bytes: int = DEFAULT_BATCH_BYTES,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        payload_views: bool = False,
     ):
         if executor not in ("thread", "process"):
             raise ValidationError(f"executor must be 'thread' or 'process', got {executor!r}")
@@ -176,10 +188,13 @@ class ParallelIngestEngine:
             raise ValidationError("batch_bytes must be positive")
         if queue_depth < 1:
             raise ValidationError("queue_depth must be positive")
+        if payload_views and executor != "process":
+            raise ValidationError("payload_views requires the process executor")
         self.workers = resolve_workers(workers)
         self.executor = executor
         self.batch_bytes = batch_bytes
         self.queue_depth = queue_depth
+        self.payload_views = payload_views
 
     # ------------------------------------------------------------------ #
     # deterministic single-stream mode
@@ -316,7 +331,7 @@ class ParallelIngestEngine:
                 thread.join(timeout=5.0)
 
     # ------------------------------------------------------------------ #
-    # process-pool variant (pure-Python chunker fallback)
+    # process-lane variant (shared-memory slabs, GIL-free front end)
     # ------------------------------------------------------------------ #
 
     def _process_iter_file_records(
@@ -324,16 +339,32 @@ class ParallelIngestEngine:
         files: Iterable[Tuple[str, FilePayload]],
         partitioner_factory: Callable[[], StreamPartitioner],
     ) -> Iterator[Tuple[str, Iterator[ChunkRecord]]]:
-        from concurrent.futures import ProcessPoolExecutor
+        """Shared-memory process lanes with the same admission/order contract
+        as the thread path: up to ``workers + 1`` files in flight, results
+        surfaced strictly in file order.
+
+        In hand-off mode (``payload_views``) records carry zero-copy slab
+        slices; a file's slab region is only reused once the consumer has
+        drained records one full super-chunk *past* that file's end.  The
+        re-sequencer flushes a super-chunk as soon as its pending bytes reach
+        ``superchunk_size`` -- and the transport wire path puts every flushed
+        super-chunk's payload on the wire synchronously before pulling the
+        next record -- so by the time the frontier passes, no live reader of
+        the region can remain.
+        """
+        from repro.parallel.shm import PendingChunkFile, ShmLanePool
 
         config = partitioner_factory().config
-        pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_process_worker_init,
-            initargs=(config,),
-        )
+        keep_data = config.keep_chunk_data
+        hand_off = self.payload_views and keep_data
+        reuse_guard = config.superchunk_size
+        pool = ShmLanePool(config=config, workers=self.workers)
         try:
-            pending: deque = deque()
+            pending: "deque[Tuple[str, PendingChunkFile]]" = deque()
+            # Hand-off mode: (handle, frontier) pairs whose slab regions stay
+            # pinned until the consumer is `frontier` cumulative bytes in.
+            pinned: "deque[Tuple[PendingChunkFile, int]]" = deque()
+            consumed = 0
             source = iter(files)
             exhausted = False
             while True:
@@ -343,20 +374,24 @@ class ParallelIngestEngine:
                     except StopIteration:
                         exhausted = True
                         break
-                    # Process lanes need picklable work units: a streamed
-                    # payload is materialised here, so the in-flight bound is
-                    # O(workers x file) rather than O(workers x super-chunk).
-                    if not isinstance(payload, (bytes, bytearray, memoryview)):
-                        payload = b"".join(payload)  # streaming-ok: process lanes need picklable buffers, bounded by in-flight window
-                    data = bytes(payload)  # streaming-ok: process lanes need picklable buffers, bounded by in-flight window
-                    pending.append((path, data, pool.submit(_process_chunk_file, data)))
+                    pending.append((path, pool.submit(payload)))
                 if not pending:
                     break
-                path, data, future = pending.popleft()
-                cuts = future.result()
-                yield path, _records_from_cuts(data, cuts, config.keep_chunk_data)
+                path, handle = pending.popleft()
+                view, packed = handle.wait()
+                records = records_from_packed(
+                    view, packed, keep_data=keep_data, copy=not hand_off
+                )
+                if hand_off:
+                    while pinned and pinned[0][1] <= consumed:
+                        pinned.popleft()[0].release()
+                    consumed += view.nbytes
+                    pinned.append((handle, consumed + reuse_guard))
+                else:
+                    handle.release()
+                yield path, iter(records)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            pool.close()
 
     # ------------------------------------------------------------------ #
     # concurrent multi-stream mode
@@ -375,6 +410,14 @@ class ParallelIngestEngine:
         single bounded queue (completion order across lanes, stream order
         within a lane) for the consumer -- typically the node data plane -- to
         drain.  Peak buffered payload is O(streams x super-chunk).
+
+        With the process executor, streams are chunked and fingerprinted in
+        shared-memory lane processes instead (super-chunks assembled in the
+        consumer from the compact lane replies, stream order overall).  Each
+        stream's payload then occupies slab or segment space whole while its
+        lane scans it, so peak memory is O(in-flight streams x stream) --
+        suited to the in-memory multi-stream experiments, not to unbounded
+        streams.
         """
         streams = list(streams)
         if stream_ids is None:
@@ -382,6 +425,9 @@ class ParallelIngestEngine:
         if len(stream_ids) != len(streams):
             raise ValidationError("stream_ids must align with streams")
         if not streams:
+            return
+        if self.executor == "process":
+            yield from self._process_iter_stream_superchunks(streams, config, stream_ids)
             return
         merged: Queue = Queue(maxsize=max(2, len(streams)))
         cancelled = threading.Event()
@@ -418,33 +464,48 @@ class ParallelIngestEngine:
             for thread in threads:
                 thread.join(timeout=5.0)
 
+    def _process_iter_stream_superchunks(
+        self,
+        streams: "List[FilePayload]",
+        config: PartitionerConfig,
+        stream_ids: Sequence[int],
+    ) -> Iterator[SuperChunk]:
+        """Multi-stream ingest over shared-memory lane processes.
 
-# ---------------------------------------------------------------------- #
-# process-pool worker half (module level: must be picklable under spawn)
-# ---------------------------------------------------------------------- #
+        Up to ``workers`` streams scan concurrently in the lanes; each
+        finished stream's compact reply is re-materialised and grouped into
+        super-chunks by a per-stream serial partitioner, so boundaries and
+        handprints match the thread path exactly.
+        """
+        from repro.parallel.shm import PendingChunkFile, ShmLanePool
 
-_PROCESS_PARTITIONER: Optional[StreamPartitioner] = None
+        keep_data = config.keep_chunk_data
+        pool = ShmLanePool(config=config, workers=min(self.workers, len(streams)))
+        try:
+            pending: "deque[Tuple[int, PendingChunkFile]]" = deque()
+            source = iter(zip(stream_ids, streams))
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) <= pool.workers:
+                    try:
+                        stream_id, payload = next(source)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append((stream_id, pool.submit(payload)))
+                if not pending:
+                    break
+                stream_id, handle = pending.popleft()
+                view, packed = handle.wait()
+                records = records_from_packed(view, packed, keep_data=keep_data)
+                handle.release()
+                sequencer = StreamPartitioner(config)
+                for superchunk, _contributions in sequencer.partition_file_records(
+                    [("stream", iter(records))], stream_id=stream_id
+                ):
+                    if superchunk is not None:
+                        yield superchunk
+        finally:
+            pool.close()
 
 
-def _process_worker_init(config: PartitionerConfig) -> None:
-    global _PROCESS_PARTITIONER
-    # Only (fingerprint, length) pairs travel back to the parent, which
-    # re-slices payloads locally -- retaining chunk data in the child would
-    # copy every payload just to discard it.
-    _PROCESS_PARTITIONER = StreamPartitioner(replace(config, keep_chunk_data=False))
-
-
-def _process_chunk_file(data: bytes) -> List[Tuple[bytes, int]]:
-    """Chunk+fingerprint one payload, returning compact (fingerprint, length)
-    pairs; the parent re-slices payloads locally instead of unpickling them."""
-    assert _PROCESS_PARTITIONER is not None, "process lane used before initialisation"
-    return [
-        (record.fingerprint, record.length)
-        for record in _PROCESS_PARTITIONER.iter_chunk_records(data)
-    ]
-
-
-def _records_from_cuts(
-    data: bytes, cuts: List[Tuple[bytes, int]], keep_data: bool
-) -> List[ChunkRecord]:
-    return records_from_pairs(data, cuts, keep_data=keep_data)

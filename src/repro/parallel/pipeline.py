@@ -190,6 +190,7 @@ class ParallelDedupePipeline:
         chunker: Chunker,
         superchunk_size: int = 1024 * 1024,
         handprint_size: int = 8,
+        executor: str = "thread",
     ) -> ThroughputSample:
         """Chunk, fingerprint and back up raw data streams in parallel.
 
@@ -201,7 +202,9 @@ class ParallelDedupePipeline:
         every stream's super-chunks, payloads included, before starting the
         timed phase).  The measurement therefore now times the whole
         pipeline, front end included; the sample keeps the historical
-        ``parallel-dedupe`` label and field shape.
+        ``parallel-dedupe`` label and field shape.  ``executor="process"``
+        runs the front end in shared-memory lane processes instead of
+        threads (see :class:`~repro.parallel.engine.ParallelIngestEngine`).
         """
         data_streams = list(data_streams)
         config = PartitionerConfig(
@@ -210,7 +213,9 @@ class ParallelDedupePipeline:
             handprint_size=handprint_size,
             fingerprint_algorithm=self.fingerprint_algorithm,
         )
-        engine = ParallelIngestEngine(workers=max(1, len(data_streams)))
+        engine = ParallelIngestEngine(
+            workers=max(1, len(data_streams)), executor=executor
+        )
         bytes_processed = 0
         chunks_processed = 0
         start = time.perf_counter()

@@ -47,6 +47,24 @@ class ClusterView(ABC):
         total = sum(self.node_storage_usage(node_id) for node_id in range(self.num_nodes))
         return total / self.num_nodes
 
+    def routing_probe(
+        self, candidate_nodes: Sequence[int], handprint
+    ) -> "tuple[List[int], List[int]]":
+        """One routing round's worth of node state, fetched together.
+
+        Returns ``(resemblances, usages)``: the resemblance count of each
+        candidate (aligned with ``candidate_nodes``) and the storage usage of
+        *every* node (indexed by node id).  Batching the round behind one
+        call lets RPC-backed views answer it in a single pipelined burst per
+        node instead of one blocking round-trip per query; this default keeps
+        the serial call order, so in-process statistics are unchanged.
+        """
+        resemblances = [
+            self.resemblance_query(node_id, handprint) for node_id in candidate_nodes
+        ]
+        usages = [self.node_storage_usage(node_id) for node_id in range(self.num_nodes)]
+        return resemblances, usages
+
 
 @dataclass
 class RoutingDecision:
@@ -86,12 +104,18 @@ class RoutingScheme(ABC):
         ``True`` for file-granularity schemes (Extreme Binning), which cannot
         run on fingerprint-only traces lacking file boundaries -- exactly why
         the paper omits Extreme Binning on the Mail and Web traces.
+    queries_cluster:
+        ``False`` for schemes that route without consulting any node state
+        (pure hash placement).  Transports use this to coalesce consecutive
+        wire trains: with no routing queries interleaved between stores,
+        deferring a store to the next burst cannot stall a lookup behind it.
     """
 
     name: str = "base"
     granularity: str = "superchunk"
     requires_file_metadata: bool = False
     is_stateful: bool = False
+    queries_cluster: bool = True
 
     #: How the target node deduplicates a routed unit: ``"exact"`` (against the
     #: node's full chunk index) or ``"bin"`` (only against the bin addressed by

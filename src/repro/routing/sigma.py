@@ -56,17 +56,20 @@ class SigmaRouting(RoutingScheme):
                 seen.add(node_id)
                 candidate_nodes.append(node_id)
 
-        # Step 2: each candidate returns its resemblance count r_i.
-        resemblances: List[int] = [
-            cluster.resemblance_query(node_id, handprint) for node_id in candidate_nodes
-        ]
+        # Step 2+3 state, one batched round: each candidate's resemblance
+        # count r_i plus every node's storage usage.  A single probe call --
+        # rather than one blocking query per candidate, per node and per
+        # candidate again -- lets RPC-backed clusters answer the whole round
+        # in one pipelined burst per node (the candidate usages come for free
+        # out of the full usage sweep the average needs anyway).
+        resemblances, all_usages = cluster.routing_probe(candidate_nodes, handprint)
+        average_usage = sum(all_usages) / num_nodes if num_nodes else 0.0
 
         # Step 3: discount by relative storage usage w_i = usage_i / average usage.
-        average_usage = cluster.average_storage_usage()
         scores: List[float] = []
         usages: List[int] = []
         for node_id, resemblance in zip(candidate_nodes, resemblances):
-            usage = cluster.node_storage_usage(node_id)
+            usage = all_usages[node_id]
             usages.append(usage)
             if self.use_load_balance and average_usage > 0:
                 relative_usage = max(usage / average_usage, 1e-9)

@@ -78,6 +78,7 @@ CONNECT_TIMEOUT_SECONDS = 15.0
 
 _OP_MESSAGE_TYPES: Dict[str, MessageType] = {
     "resemblance": MessageType.PRE_ROUTING,
+    "probe": MessageType.PRE_ROUTING,
     "sample": MessageType.PRE_ROUTING,
     "usage": MessageType.PRE_ROUTING,
     "backup": MessageType.AFTER_ROUTING,
@@ -133,6 +134,7 @@ class NodeProxy:
         self._sock: Optional[socket.socket] = None
         self._send_lock: GuardLock = guarded_lock(f"NodeProxy{node_id}._send_lock")
         self._next_id = 0  # guarded-by: _send_lock
+        self._staged: List[wire.Buffer] = []  # guarded-by: _send_lock
         self._recv_cond = threading.Condition()
         self._responses: Dict[int, Tuple[Dict[str, Any], List[memoryview]]] = {}  # guarded-by: _recv_cond
         self._receiving = False  # guarded-by: _recv_cond
@@ -218,8 +220,20 @@ class NodeProxy:
         op: str,
         header: Optional[Dict[str, Any]] = None,
         frames: Sequence[wire.Buffer] = (),
+        coalesce: bool = False,
     ) -> PendingCall:
-        """Send a request without waiting for its response (pipelining)."""
+        """Send a request without waiting for its response (pipelining).
+
+        With ``coalesce=True`` the encoded train is *staged* instead of put
+        on the wire: it rides at the front of this connection's next burst
+        (the next plain ``send``, or the flush a response read performs), so
+        consecutive trains to one worker collapse into a single ``sendmsg``
+        burst.  The request id is assigned at staging time, so per-connection
+        FIFO order -- and therefore byte-identical results -- is unchanged.
+        Only stage trains whose frames are immutable
+        (:func:`repro.transport.wire.frames_immutable`): zero-copy slab views
+        must reach the kernel before their slab region can be reused.
+        """
         message = dict(header or {})
         message["op"] = op
         with self._send_lock:
@@ -229,11 +243,18 @@ class NodeProxy:
             request_id = self._next_id
             self._next_id += 1
             message["id"] = request_id
-            try:
-                nbytes = wire.send_message(sock, message, frames)
-            except ConnectionLostError as exc:
-                self._mark_dead(str(exc))
-                self._raise_unavailable(str(exc), cause=exc)
+            buffers = wire.encode_message(message, frames)
+            nbytes = wire.message_size(buffers)
+            if coalesce:
+                self._staged.extend(buffers)
+            else:
+                train = self._staged + buffers if self._staged else buffers
+                self._staged = []
+                try:
+                    wire.send_buffers(sock, train)
+                except ConnectionLostError as exc:
+                    self._mark_dead(str(exc))
+                    self._raise_unavailable(str(exc), cause=exc)
         self.messages.record_wire(_op_message_type(op), 1, nbytes)
         return PendingCall(self, request_id, op)  # unguarded-ok: snapshot of the ordinal assigned under _send_lock
 
@@ -246,6 +267,27 @@ class NodeProxy:
         """Send a request and block for its response."""
         return self.send(op, header, frames).result()
 
+    def _flush_staged(self) -> None:
+        """Put staged coalesced trains on the wire as one ``sendmsg`` burst.
+
+        A no-op when nothing is staged.  Must run before blocking for any
+        response: a staged request's reply cannot arrive until its train is
+        actually sent.
+        """
+        with self._send_lock:
+            staged = self._staged
+            if not staged:
+                return
+            self._staged = []
+            sock = self._sock
+            if sock is None:
+                self._raise_unavailable(self._dead_reason() or "not connected")
+            try:
+                wire.send_buffers(sock, staged)
+            except ConnectionLostError as exc:
+                self._mark_dead(str(exc))
+                self._raise_unavailable(str(exc), cause=exc)
+
     def _wait(
         self, request_id: int, op: str
     ) -> Tuple[Dict[str, Any], List[memoryview]]:
@@ -255,6 +297,7 @@ class NodeProxy:
         present when a response must be read becomes the reader, stashing
         responses that belong to other waiters.
         """
+        self._flush_staged()
         while True:
             with self._recv_cond:
                 response = self._responses.pop(request_id, None)
@@ -542,6 +585,45 @@ class TransportCluster(ClusterView):
         header, _frames = self._proxy(node_id).call("sample", frames=[blob, lengths])
         return int(header["value"])
 
+    def routing_probe(
+        self, candidate_nodes: Sequence[int], handprint: Handprint
+    ) -> Tuple[List[int], List[int]]:
+        """One pipelined burst per node instead of one round-trip per query.
+
+        The serial :class:`~repro.routing.base.ClusterView` default costs
+        ``candidates + num_nodes`` blocking round-trips per super-chunk --
+        the per-connection dispatch overhead that made *more* workers
+        *slower* at a fixed front-end rate.  Here every candidate gets a
+        single ``probe`` request (resemblance + usage in one response),
+        every other node a ``usage`` request, all sent before any response
+        is awaited: the whole routing round costs one round-trip time.
+        Worker-side evaluation order per node is unchanged (resemblance
+        before the usage read), so node statistics stay byte-identical.
+        """
+        blob, lengths = wire.pack_bytes_seq(
+            list(handprint.representative_fingerprints)
+        )
+        candidates = list(candidate_nodes)
+        candidate_set = set(candidates)
+        probe_calls = [
+            (node_id, self._proxy(node_id).send("probe", frames=[blob, lengths]))
+            for node_id in candidates
+        ]
+        usage_calls = [
+            (node_id, self._proxy(node_id).send("usage"))
+            for node_id in range(self._num_nodes)
+            if node_id not in candidate_set
+        ]
+        usages = [0] * self._num_nodes
+        resemblance_by_node: Dict[int, int] = {}
+        for node_id, call in probe_calls:
+            header, _frames = call.result()
+            resemblance_by_node[node_id] = int(header["resemblance"])
+            usages[node_id] = int(header["usage"])
+        for node_id, call in usage_calls:
+            usages[node_id] = int(call.result()[0]["value"])
+        return [resemblance_by_node[node_id] for node_id in candidates], usages
+
     # ------------------------------------------------------------------ #
     # backup path
     # ------------------------------------------------------------------ #
@@ -557,10 +639,21 @@ class TransportCluster(ClusterView):
     ) -> PendingBackup:
         """Ship one super-chunk to its target without waiting for the store.
 
-        The pipelined data plane: the request is fully on the wire when this
-        returns, so the caller may route the *next* super-chunk (whose
-        queries to the same worker will be answered after this store, FIFO)
-        while the worker deduplicates this one.
+        The pipelined data plane: the request is on the wire (or staged at
+        the head of the connection's next burst) when this returns, so the
+        caller may route the *next* super-chunk (whose queries to the same
+        worker will be answered after this store, FIFO) while the worker
+        deduplicates this one.
+
+        Coalescing: under a routing scheme that never queries node state,
+        consecutive stores bound for one worker are staged and collapse into
+        a single ``sendmsg`` burst when the client settles its window.  With
+        a cluster-querying scheme (sigma, stateful) the train is sent
+        eagerly instead -- staging it would park the store behind the next
+        routing round and stall that round's lookups behind the store,
+        serialising exactly what the pipeline exists to overlap.  Zero-copy
+        slab-view frames are always sent eagerly (the kernel must own the
+        bytes before the lane slab region is reused).
         """
         if decision is None:
             decision = self.route_superchunk(superchunk)
@@ -570,7 +663,13 @@ class TransportCluster(ClusterView):
         )
         header["stream_id"] = superchunk.stream_id
         header["sequence_number"] = superchunk.sequence_number
-        call = self._proxy(decision.target_node).send("backup", header, frames)
+        coalesce = (
+            not self.routing_scheme.queries_cluster
+            and wire.frames_immutable(frames)
+        )
+        call = self._proxy(decision.target_node).send(
+            "backup", header, frames, coalesce=coalesce
+        )
         return PendingBackup(self, decision, call)
 
     def backup_superchunk(

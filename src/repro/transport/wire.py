@@ -99,6 +99,17 @@ def message_size(buffers: Sequence[Buffer]) -> int:
     return sum(len(buffer) for buffer in buffers)
 
 
+def frames_immutable(frames: Sequence[Buffer]) -> bool:
+    """Whether every frame owns immutable bytes.
+
+    Staging a train for a deferred coalesced send is only sound when no frame
+    aliases mutable storage: zero-copy ``memoryview`` frames of a shared-
+    memory slab (the lane hand-off path) must hit the wire before their slab
+    region can be reused, so they are sent eagerly instead of staged.
+    """
+    return all(isinstance(frame, bytes) for frame in frames)
+
+
 # --------------------------------------------------------------------- #
 # blocking socket I/O (client / proxy side)
 # --------------------------------------------------------------------- #

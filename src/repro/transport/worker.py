@@ -152,6 +152,23 @@ class NodeWorker:
         handprint = Handprint(representative_fingerprints=tuple(fingerprints))
         return {"ok": True, "value": self.node.resemblance_query(handprint)}, []
 
+    def _op_probe(
+        self, header: Dict[str, Any], frames: List[memoryview]
+    ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:
+        # One routing round's worth of this node's state in a single
+        # response: the resemblance count (stats-bumping, evaluated first --
+        # same order as the serial query sequence) plus the storage usage.
+        from repro.fingerprint.handprint import Handprint
+
+        fingerprints = wire.unpack_bytes_seq(frames[0], frames[1])
+        handprint = Handprint(representative_fingerprints=tuple(fingerprints))
+        resemblance = self.node.resemblance_query(handprint)
+        return {
+            "ok": True,
+            "resemblance": resemblance,
+            "usage": self.node.storage_usage,
+        }, []
+
     def _op_sample(
         self, header: Dict[str, Any], frames: List[memoryview]
     ) -> Tuple[Dict[str, Any], List[wire.Buffer]]:

@@ -12,7 +12,16 @@ token, then audits the machine for anything they leaked:
   when it identifies a worker directly.
 * **runtime directories** -- leftover ``repro-transport-*`` trees (worker
   sockets and auto-claimed storage) under the temp dir.
-* **shared memory** -- a ``/dev/shm`` diff against the pre-run snapshot.
+* **shared memory** -- a ``/dev/shm`` diff against the pre-run snapshot, plus
+  a token-specific sweep: the shm lane pool embeds ``sha1(token)[:8]`` in
+  every segment name (``repro-shm-<tag>-*``), so segments leaked by process
+  front-end lanes are attributed to this run even on a busy host.  The sweep
+  retries briefly -- unlinks ride the resource tracker, which runs a beat
+  behind process exit.
+* **crash path** -- a separate leg SIGKILLs a process holding a live lane
+  pool (slabs mapped, results unreleased) and asserts every tagged segment
+  still vanishes: lane processes notice the dead parent and exit, and the
+  shared resource tracker unlinks the registered slabs behind them.
 
 Exits non-zero on test failure or any leak, printing what leaked.  Run it
 from the repository root:
@@ -22,19 +31,71 @@ from the repository root:
 
 import glob
 import os
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 import uuid
 
-SUITES = ["tests/test_transport.py", "tests/test_transport_properties.py"]
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+SUITES = [
+    "tests/test_transport.py",
+    "tests/test_transport_properties.py",
+    "tests/test_shm_lanes.py",
+    "tests/test_process_executor_properties.py",
+]
 WORKER_MARKER = b"REPRO_TRANSPORT_WORKER"
+# Resource-tracker unlinks trail process exit; poll this long before calling
+# a tagged segment leaked.
+SHM_SWEEP_SECONDS = 20.0
+
+# The crash leg: build a lane pool, park completed-but-unreleased results in
+# the slabs (the hardest teardown case: segments mapped in parent and lanes),
+# then die by SIGKILL with no chance to clean up.  The audit then requires
+# the machine to converge to zero tagged segments on its own.
+CRASH_SCRIPT = r"""
+import os, signal, sys
+from repro.chunking import build_chunker
+from repro.core.partitioner import PartitionerConfig
+from repro.parallel.shm import ShmLanePool
+
+config = PartitionerConfig(
+    chunker=build_chunker("gear", average_size=4096),
+    superchunk_size=65536,
+    handprint_size=4,
+)
+pool = ShmLanePool(config=config, workers=2)
+handles = [pool.submit(os.urandom(1 << 18)) for _ in range(2)]
+for handle in handles:
+    handle.wait()
+print("CRASH-READY", flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
 
 
 def shm_entries():
     if not os.path.isdir("/dev/shm"):
         return set()
     return set(os.listdir("/dev/shm"))
+
+
+def lane_segments(tag):
+    """Live ``/dev/shm`` segments created by shm lane pools under ``tag``."""
+    return sorted(
+        name for name in shm_entries() if name.startswith(f"repro-shm-{tag}-")
+    )
+
+
+def wait_lane_segments_gone(tag, timeout=SHM_SWEEP_SECONDS):
+    """Poll until no tagged lane segment remains; return the stragglers."""
+    deadline = time.monotonic() + timeout
+    leaked = lane_segments(tag)
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.25)
+        leaked = lane_segments(tag)
+    return leaked
 
 
 def runtime_dirs():
@@ -62,11 +123,53 @@ def tagged_processes(token):
     return tagged
 
 
+def wait_tagged_processes_gone(token, timeout=SHM_SWEEP_SECONDS):
+    """Poll until no tagged process remains; return the stragglers.
+
+    Worker processes and their resource trackers drain asynchronously after
+    the test run's main process exits -- a pid observed once right after
+    pytest returns is teardown latency, not a leak.  Only processes that
+    survive the grace period count."""
+    deadline = time.monotonic() + timeout
+    orphans = tagged_processes(token)
+    while orphans and time.monotonic() < deadline:
+        time.sleep(0.25)
+        orphans = tagged_processes(token)
+    return orphans
+
+
+def crash_leg(env, tag):
+    """SIGKILL a process holding a live lane pool; the tagged segments must
+    still converge to zero (lanes exit on the dead parent, the shared
+    resource tracker unlinks the slabs)."""
+    print("[teardown-check] crash leg: SIGKILL a process holding a lane pool")
+    result = subprocess.run(
+        [sys.executable, "-c", CRASH_SCRIPT], env=env, stdout=subprocess.PIPE
+    )
+    if result.returncode != -signal.SIGKILL:
+        return [
+            f"crash child exited {result.returncode} instead of dying by "
+            "SIGKILL (the leg never exercised the crash path)"
+        ]
+    if b"CRASH-READY" not in result.stdout:
+        return ["crash child died before its lane pool was live"]
+    leaked = wait_lane_segments_gone(tag)
+    if leaked:
+        return [f"crash path leaked shm lane segments: {leaked}"]
+    return []
+
+
 def main():
     token = f"repro-teardown-{uuid.uuid4().hex}"
     env = dict(os.environ)
     env["REPRO_TEARDOWN_TOKEN"] = token
     env.setdefault("PYTHONPATH", "src")
+    # Derive the segment tag exactly as the lane pool will (sha1(token)[:8])
+    # so the sweep and the pools can never drift apart.
+    os.environ["REPRO_TEARDOWN_TOKEN"] = token
+    from repro.parallel.shm import segment_tag
+
+    tag = segment_tag()
 
     shm_before = shm_entries()
     dirs_before = runtime_dirs()
@@ -90,7 +193,7 @@ def main():
         return result.returncode
 
     failures = []
-    orphans = tagged_processes(token)
+    orphans = wait_tagged_processes_gone(token)
     if orphans:
         for pid, marked in orphans:
             kind = "worker (marker present)" if marked else "process"
@@ -98,9 +201,16 @@ def main():
     leaked_dirs = runtime_dirs() - dirs_before
     if leaked_dirs:
         failures.append(f"leaked runtime dirs: {sorted(leaked_dirs)}")
+    # Token-attributed sweep first (with the tracker grace period), then the
+    # raw diff for anything untagged.
+    leaked_lanes = wait_lane_segments_gone(tag)
+    if leaked_lanes:
+        failures.append(f"leaked shm lane segments: {leaked_lanes}")
     leaked_shm = shm_entries() - shm_before
     if leaked_shm:
         failures.append(f"leaked /dev/shm entries: {sorted(leaked_shm)}")
+
+    failures.extend(crash_leg(env, tag))
 
     if failures:
         for failure in failures:
@@ -108,7 +218,7 @@ def main():
         return 1
     print(
         "[teardown-check] PASS: no orphaned workers, no leaked runtime dirs, "
-        "no leaked shared memory"
+        "no leaked shared memory (suite and crash paths)"
     )
     return 0
 
